@@ -1,0 +1,162 @@
+// Command ctrsim runs one benchmark on the secure-processor simulator
+// under a chosen counter-availability scheme and prints its statistics.
+//
+// Usage:
+//
+//	ctrsim -bench mcf -scheme pred-context -l2 256K -instr 1000000
+//	ctrsim -list
+//
+// Schemes: baseline, oracle, seqcache:<size>, pred-regular,
+// pred-twolevel, pred-context, combined:<size> (seq cache + regular
+// prediction). Sizes accept K/M suffixes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ctrpred"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "mcf", "benchmark to run (see -list)")
+		scheme  = flag.String("scheme", "pred-regular", "counter scheme: baseline|oracle|direct|seqcache:<size>|pred-regular|pred-twolevel|pred-context|combined:<size>")
+		l2      = flag.String("l2", "256K", "L2 size (256K or 1M per the paper; any power of two works)")
+		instr   = flag.Uint64("instr", 1_000_000, "instruction budget")
+		foot    = flag.String("footprint", "2M", "workload footprint")
+		mode    = flag.String("mode", "performance", "performance (IPC) or hitrate (fast functional)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		flush   = flag.Uint64("flush", 0, "dirty-flush interval in cycles (0 = instr/10)")
+		list    = flag.Bool("list", false, "list benchmarks and exit")
+		verbose = flag.Bool("v", false, "print extended statistics")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range ctrpred.BenchmarkCatalog() {
+			tags := ""
+			if b.MemoryBound {
+				tags += " [memory-bound]"
+			}
+			if b.WriteHeavy {
+				tags += " [write-heavy]"
+			}
+			fmt.Printf("%-9s %s%s\n", b.Name, b.Description, tags)
+		}
+		return
+	}
+
+	sch, err := parseScheme(*scheme)
+	if err != nil {
+		fatal(err)
+	}
+	l2Bytes, err := parseSize(*l2)
+	if err != nil {
+		fatal(err)
+	}
+	footBytes, err := parseSize(*foot)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := ctrpred.DefaultConfig(sch).WithL2(l2Bytes)
+	cfg.Scale = ctrpred.Scale{Footprint: footBytes, Instructions: *instr}
+	cfg.Seed = *seed
+	if *mode == "hitrate" {
+		cfg = cfg.WithMode(ctrpred.ModeHitRate)
+	} else if *mode != "performance" {
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	if *flush != 0 {
+		cfg.Mem.FlushInterval = *flush
+	} else {
+		cfg.Mem.FlushInterval = *instr / 10
+	}
+
+	res, err := ctrpred.Run(*bench, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("benchmark      %s\n", res.Benchmark)
+	fmt.Printf("scheme         %s\n", res.Scheme)
+	fmt.Printf("mode           %s\n", res.Mode)
+	fmt.Printf("instructions   %d\n", res.CPU.Instructions)
+	fmt.Printf("cycles         %d\n", res.CPU.Cycles)
+	fmt.Printf("IPC            %.4f\n", res.IPC())
+	fmt.Printf("L2 miss rate   %.4f\n", 1-res.L2.HitRate())
+	fmt.Printf("mem fetches    %d\n", res.Ctrl.Fetches)
+	fmt.Printf("writebacks     %d\n", res.Ctrl.Evictions)
+	fmt.Printf("pred rate      %.4f\n", res.PredRate())
+	fmt.Printf("seq$ hit rate  %.4f\n", res.SeqHitRate())
+	fmt.Printf("pad violations %d\n", res.PadViolations)
+	if *verbose {
+		fmt.Printf("\n-- detail --\n")
+		fmt.Printf("loads/stores/branches  %d/%d/%d\n", res.CPU.Loads, res.CPU.Stores, res.CPU.Branches)
+		fmt.Printf("branch mispredicts     %d\n", res.CPU.Mispredicts)
+		fmt.Printf("L1D hit rate           %.4f\n", res.L1D.HitRate())
+		fmt.Printf("predictions issued     %d\n", res.Pred.Guesses)
+		fmt.Printf("root resets/rebases    %d/%d\n", res.Pred.Resets, res.Pred.Rebases)
+		fmt.Printf("counter-buffer hits    %d\n", res.Ctrl.CounterBufHits)
+		fmt.Printf("engine issued          %v (stall %d)\n", res.Engine.Issued, res.Engine.StallCycles)
+		fmt.Printf("DRAM r/w               %d/%d (row hit %d, miss %d, conflict %d)\n",
+			res.DRAM.Reads, res.DRAM.Writes, res.DRAM.RowHits, res.DRAM.RowMisses, res.DRAM.RowConflicts)
+		fmt.Printf("fetch latency          %s\n", res.Ctrl.FetchLatency)
+		fmt.Printf("decrypt exposure       %d cycles total\n", res.Ctrl.DecryptExposed)
+		fmt.Printf("flushes (lines)        %d (%d)\n", res.Hierarchy.Flushes, res.Hierarchy.FlushedLines)
+	}
+}
+
+func parseScheme(s string) (ctrpred.Scheme, error) {
+	switch {
+	case s == "baseline":
+		return ctrpred.SchemeBaseline(), nil
+	case s == "oracle":
+		return ctrpred.SchemeOracle(), nil
+	case s == "direct":
+		return ctrpred.SchemeDirect(), nil
+	case s == "pred-regular":
+		return ctrpred.SchemePred(ctrpred.PredRegular), nil
+	case s == "pred-twolevel":
+		return ctrpred.SchemePred(ctrpred.PredTwoLevel), nil
+	case s == "pred-context":
+		return ctrpred.SchemePred(ctrpred.PredContext), nil
+	case strings.HasPrefix(s, "seqcache:"):
+		n, err := parseSize(strings.TrimPrefix(s, "seqcache:"))
+		if err != nil {
+			return ctrpred.Scheme{}, err
+		}
+		return ctrpred.SchemeSeqCache(n), nil
+	case strings.HasPrefix(s, "combined:"):
+		n, err := parseSize(strings.TrimPrefix(s, "combined:"))
+		if err != nil {
+			return ctrpred.Scheme{}, err
+		}
+		return ctrpred.SchemeCombined(n, ctrpred.PredRegular), nil
+	}
+	return ctrpred.Scheme{}, fmt.Errorf("unknown scheme %q", s)
+}
+
+func parseSize(s string) (int, error) {
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ctrsim:", err)
+	os.Exit(2)
+}

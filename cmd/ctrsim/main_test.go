@@ -1,0 +1,53 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int{
+		"256":  256,
+		"4K":   4 << 10,
+		"4k":   4 << 10,
+		"1M":   1 << 20,
+		"16m":  16 << 20,
+		"512K": 512 << 10,
+	}
+	for in, want := range cases {
+		got, err := parseSize(in)
+		if err != nil || got != want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "K", "-4K", "0", "abc", "4G"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	good := map[string]string{
+		"baseline":      "baseline",
+		"oracle":        "oracle",
+		"direct":        "direct",
+		"pred-regular":  "pred-regular",
+		"pred-twolevel": "pred-two-level",
+		"pred-context":  "pred-context",
+		"seqcache:128K": "seqcache-128K",
+		"combined:32K":  "seqcache-32K+pred-regular",
+	}
+	for in, wantName := range good {
+		s, err := parseScheme(in)
+		if err != nil {
+			t.Errorf("parseScheme(%q): %v", in, err)
+			continue
+		}
+		if s.Name != wantName {
+			t.Errorf("parseScheme(%q).Name = %q, want %q", in, s.Name, wantName)
+		}
+	}
+	for _, bad := range []string{"", "pred", "seqcache:", "seqcache:x", "combined:", "frob"} {
+		if _, err := parseScheme(bad); err == nil {
+			t.Errorf("parseScheme(%q) succeeded", bad)
+		}
+	}
+}

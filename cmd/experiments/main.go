@@ -1,0 +1,64 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments                         # every experiment, default scale
+//	experiments -exp fig7,fig12         # a subset
+//	experiments -instr 2000000          # longer windows, tighter numbers
+//	experiments -bench mcf,gzip,swim    # a benchmark subset
+//
+// Output is the same row/series layout the paper's figures plot, plus a
+// note recording the shape the paper reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ctrpred"
+)
+
+func main() {
+	var (
+		exps  = flag.String("exp", "all", "comma-separated experiment ids (table1, fig4, fig7..fig16, ablation, ctxswitch, integrity, hybrid, seqsweep, valuepred) or 'all'")
+		instr = flag.Uint64("instr", 0, "per-run instruction budget (0 = default)")
+		foot  = flag.Int("footprint", 0, "workload footprint in bytes (0 = default)")
+		bench = flag.String("bench", "", "comma-separated benchmark subset (default: all 14)")
+		seed  = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	opt := ctrpred.DefaultOptions()
+	opt.Seed = *seed
+	if *instr != 0 {
+		opt.Scale.Instructions = *instr
+	}
+	if *foot != 0 {
+		opt.Scale.Footprint = *foot
+	}
+	if *bench != "" {
+		opt.Benchmarks = strings.Split(*bench, ",")
+	}
+
+	ids := ctrpred.ExperimentIDs()
+	if *exps != "all" {
+		ids = strings.Split(*exps, ",")
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		res, err := ctrpred.RunExperiment(strings.TrimSpace(id), opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		fmt.Println(res.Table)
+		if res.Notes != "" {
+			fmt.Printf("paper shape: %s\n", res.Notes)
+		}
+		fmt.Printf("(%s regenerated in %.1fs)\n\n", res.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,120 @@
+// Command tracegen emits binary memory-reference traces, either from the
+// synthetic generators (stream/pointer/zipf/mixed) or recorded live from
+// a workload kernel's data references, for replay-based studies.
+//
+// Usage:
+//
+//	tracegen -kind zipf -n 100000 -footprint 1M -o trace.bin
+//	tracegen -record mcf -n 200000 -o mcf.trace
+//	tracegen -kind mixed -n 50000 -o - | wc -c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ctrpred"
+	"ctrpred/internal/trace"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "mixed", "synthetic generator: stream|pointer|zipf|mixed")
+		record = flag.String("record", "", "record a workload's data references instead (benchmark name)")
+		n      = flag.Int("n", 100_000, "number of references (synthetic) or instructions (record)")
+		foot   = flag.String("footprint", "1M", "footprint (K/M suffixes)")
+		base   = flag.Uint64("base", 0x100000, "base address (synthetic)")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		out    = flag.String("o", "-", "output file ('-' = stdout)")
+	)
+	flag.Parse()
+
+	footBytes, err := parseSize(*foot)
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	tw, err := trace.NewWriter(w)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *record != "" {
+		if err := recordWorkload(tw, *record, footBytes, uint64(*n), *seed); err != nil {
+			fatal(err)
+		}
+		if err := tw.Flush(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: recorded %d refs from %s (%d instructions)\n",
+			tw.Count(), *record, *n)
+		return
+	}
+
+	refs, err := trace.Synthetic(trace.Kind(*kind), *n, footBytes, *base, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range refs {
+		if err := tw.Append(r); err != nil {
+			fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d refs (%s over %d bytes)\n", tw.Count(), *kind, footBytes)
+}
+
+// recordWorkload runs the benchmark in fast functional mode with a
+// reference sink streaming into the trace writer.
+func recordWorkload(tw *trace.Writer, bench string, footprint int, instructions, seed uint64) error {
+	cfg := ctrpred.DefaultConfig(ctrpred.SchemeBaseline()).WithMode(ctrpred.ModeHitRate)
+	cfg.Scale = ctrpred.Scale{Footprint: footprint, Instructions: instructions}
+	cfg.Seed = seed
+	m, err := ctrpred.NewMachine(bench, cfg)
+	if err != nil {
+		return err
+	}
+	var sinkErr error
+	m.Sys.SetReferenceSink(func(addr uint64, write bool) {
+		if sinkErr == nil {
+			sinkErr = tw.Append(trace.Ref{Addr: addr, Write: write})
+		}
+	})
+	m.Run(bench)
+	return sinkErr
+}
+
+func parseSize(s string) (int, error) {
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,151 @@
+// Package ctrpred is a from-scratch reproduction of "High Efficiency
+// Counter Mode Security Architecture via Prediction and Precomputation"
+// (Shi, Lee, Ghosh, Lu, Boldyreva — ISCA 2005).
+//
+// The library contains everything the paper's evaluation needs, built on
+// the Go standard library alone:
+//
+//   - a counter-mode memory-encryption layer over a from-scratch AES-256
+//     (pads of the form AES(key, vaddr‖counter) XORed with 32-byte lines),
+//   - the paper's contribution: sequence-number (OTP) prediction and
+//     precomputation — regular, adaptive (PHV root resets), two-level
+//     (range table) and context-based (LOR) predictors,
+//   - the baselines: sequence-number caches of any size and an oracle,
+//   - the substrate: a pipelined AES engine timing model, set-associative
+//     caches, TLBs, an SDRAM bank/bus model, an out-of-order core running
+//     a small RISC ISA, and fourteen SPEC2000-like workload kernels,
+//   - an experiment harness that regenerates every table and figure of
+//     the paper's evaluation.
+//
+// # Quick start
+//
+//	cfg := ctrpred.DefaultConfig(ctrpred.SchemePred(ctrpred.PredContext))
+//	res, err := ctrpred.Run("mcf", cfg)
+//	fmt.Println(res.IPC(), res.PredRate())
+//
+// Figures:
+//
+//	fig, err := ctrpred.RunExperiment("fig7", ctrpred.DefaultOptions())
+//	fmt.Println(fig.Table)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package ctrpred
+
+import (
+	"ctrpred/internal/experiments"
+	"ctrpred/internal/predictor"
+	"ctrpred/internal/sim"
+	"ctrpred/internal/workload"
+)
+
+// Re-exported simulator types. The aliases make the internal packages'
+// types usable by external importers of this module.
+type (
+	// Config is a full machine + run configuration.
+	Config = sim.Config
+	// Scheme selects the counter-availability mechanism under test.
+	Scheme = sim.Scheme
+	// Result carries the statistics of one simulation run.
+	Result = sim.Result
+	// Mode selects performance (IPC) or hit-rate fidelity.
+	Mode = sim.Mode
+	// Scale controls workload footprint and instruction budget.
+	Scale = workload.Scale
+	// PredScheme selects a prediction algorithm.
+	PredScheme = predictor.Scheme
+	// PredConfig exposes every predictor knob (depth, swing, PHV, …).
+	PredConfig = predictor.Config
+	// Machine is an assembled simulator instance for direct component
+	// access (the examples use it).
+	Machine = sim.Machine
+	// ExperimentOptions scopes and scales a figure regeneration.
+	ExperimentOptions = experiments.Options
+	// ExperimentResult is one regenerated figure or table.
+	ExperimentResult = experiments.Result
+)
+
+// Simulation modes.
+const (
+	// ModePerformance runs the out-of-order timing model.
+	ModePerformance = sim.Performance
+	// ModeHitRate runs the fast functional model for long windows.
+	ModeHitRate = sim.HitRate
+)
+
+// Prediction schemes (Section 3 and Section 7 of the paper).
+const (
+	PredNone     = predictor.SchemeNone
+	PredRegular  = predictor.SchemeRegular
+	PredTwoLevel = predictor.SchemeTwoLevel
+	PredContext  = predictor.SchemeContext
+)
+
+// DefaultConfig returns the paper's Table 1 machine with the given
+// scheme, a 256 KB L2, and the default workload scale.
+func DefaultConfig(s Scheme) Config { return sim.DefaultConfig(s) }
+
+// Canonical schemes.
+func SchemeBaseline() Scheme          { return sim.SchemeBaseline() }
+func SchemeOracle() Scheme            { return sim.SchemeOracle() }
+func SchemeDirect() Scheme            { return sim.SchemeDirect() }
+func SchemeSeqCache(bytes int) Scheme { return sim.SchemeSeqCache(bytes) }
+func SchemePred(p PredScheme) Scheme  { return sim.SchemePred(p) }
+func SchemeCombined(bytes int, p PredScheme) Scheme {
+	return sim.SchemeCombined(bytes, p)
+}
+
+// DefaultPredConfig returns the Table 1 predictor parameters for a
+// scheme (depth 5, swing 3, 16-bit PHV, threshold 12, 64-entry range
+// table).
+func DefaultPredConfig(p PredScheme) PredConfig { return predictor.DefaultConfig(p) }
+
+// Benchmarks lists the fourteen SPEC2000-like workload kernels.
+func Benchmarks() []string { return workload.Names() }
+
+// BenchmarkInfo describes one workload kernel.
+type BenchmarkInfo struct {
+	Name        string
+	Description string
+	MemoryBound bool
+	WriteHeavy  bool
+}
+
+// BenchmarkCatalog returns metadata for every kernel.
+func BenchmarkCatalog() []BenchmarkInfo {
+	var out []BenchmarkInfo
+	for _, n := range workload.Names() {
+		s, _ := workload.Lookup(n)
+		out = append(out, BenchmarkInfo{
+			Name:        s.Name,
+			Description: s.Description,
+			MemoryBound: s.MemoryBound,
+			WriteHeavy:  s.WriteHeavy,
+		})
+	}
+	return out
+}
+
+// Run executes the named benchmark under cfg and returns its statistics.
+func Run(bench string, cfg Config) (Result, error) { return sim.Run(bench, cfg) }
+
+// NewMachine assembles a simulator without running it, for callers that
+// want to inspect or drive components directly.
+func NewMachine(bench string, cfg Config) (*Machine, error) {
+	return sim.NewMachine(bench, cfg)
+}
+
+// DefaultOptions returns the default experiment scope (all benchmarks)
+// and scale.
+func DefaultOptions() ExperimentOptions { return experiments.DefaultOptions() }
+
+// RunExperiment regenerates one of the paper's tables or figures by id
+// ("table1", "fig4", "fig7" … "fig16", "ablation"), or one of the
+// extension studies ("ctxswitch", "integrity", "hybrid", "seqsweep",
+// "valuepred").
+func RunExperiment(id string, opt ExperimentOptions) (ExperimentResult, error) {
+	return experiments.ByID(id, opt)
+}
+
+// ExperimentIDs lists every regenerable table/figure id in paper order.
+func ExperimentIDs() []string { return experiments.IDs() }

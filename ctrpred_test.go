@@ -1,0 +1,84 @@
+package ctrpred
+
+import "testing"
+
+func quickConfig(s Scheme) Config {
+	cfg := DefaultConfig(s)
+	cfg.Scale = Scale{Footprint: 256 << 10, Instructions: 40_000}
+	cfg.Mem.L2Size = 16 << 10
+	cfg.Mem.FlushInterval = 20_000
+	return cfg
+}
+
+func TestFacadeRun(t *testing.T) {
+	res, err := Run("mcf", quickConfig(SchemePred(PredContext)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC() <= 0 || res.PredRate() <= 0 {
+		t.Fatalf("IPC=%v PredRate=%v", res.IPC(), res.PredRate())
+	}
+}
+
+func TestFacadeBenchmarks(t *testing.T) {
+	if len(Benchmarks()) != 14 {
+		t.Fatalf("Benchmarks() = %d entries", len(Benchmarks()))
+	}
+	cat := BenchmarkCatalog()
+	if len(cat) != 14 {
+		t.Fatalf("catalog has %d entries", len(cat))
+	}
+	for _, b := range cat {
+		if b.Name == "" || b.Description == "" {
+			t.Fatalf("incomplete catalog entry %+v", b)
+		}
+	}
+}
+
+func TestFacadeSchemes(t *testing.T) {
+	if SchemeBaseline().Name != "baseline" || SchemeOracle().Name != "oracle" {
+		t.Fatal("scheme constructors broken")
+	}
+	if SchemeSeqCache(4<<10).SeqCacheBytes != 4<<10 {
+		t.Fatal("seq cache size not plumbed")
+	}
+	if SchemeCombined(32<<10, PredRegular).Pred != PredRegular {
+		t.Fatal("combined scheme not plumbed")
+	}
+	if DefaultPredConfig(PredContext).Depth != 5 {
+		t.Fatal("default pred config wrong")
+	}
+}
+
+func TestFacadeExperiment(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Benchmarks = []string{"mcf"}
+	opt.Scale = Scale{Footprint: 256 << 10, Instructions: 30_000}
+	res, err := RunExperiment("fig7", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "Figure 7" || res.Table.NumRows() != 2 {
+		t.Fatalf("experiment result %q rows=%d", res.ID, res.Table.NumRows())
+	}
+	if _, err := RunExperiment("bogus", opt); err == nil {
+		t.Fatal("bogus experiment id accepted")
+	}
+	if len(ExperimentIDs()) != 18 {
+		t.Fatalf("ExperimentIDs() = %d", len(ExperimentIDs()))
+	}
+}
+
+func TestFacadeMachine(t *testing.T) {
+	m, err := NewMachine("swim", quickConfig(SchemeBaseline()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Core == nil || m.Ctrl == nil || m.Sys == nil {
+		t.Fatal("machine components missing")
+	}
+	res := m.Run("swim")
+	if res.CPU.Instructions == 0 {
+		t.Fatal("machine run executed nothing")
+	}
+}

@@ -1,0 +1,56 @@
+// Predictors: compare every counter-availability scheme of the paper on
+// one write-heavy benchmark — sequence-number caches of three sizes, the
+// three prediction schemes, their combination, and the oracle — printing
+// a small league table of counter coverage and normalized IPC.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ctrpred"
+)
+
+func main() {
+	const bench = "twolf" // scattered rewrites: hard for everything
+
+	schemes := []ctrpred.Scheme{
+		ctrpred.SchemeDirect(),
+		ctrpred.SchemeBaseline(),
+		ctrpred.SchemeSeqCache(4 << 10),
+		ctrpred.SchemeSeqCache(128 << 10),
+		ctrpred.SchemeSeqCache(512 << 10),
+		ctrpred.SchemePred(ctrpred.PredRegular),
+		ctrpred.SchemePred(ctrpred.PredTwoLevel),
+		ctrpred.SchemePred(ctrpred.PredContext),
+		ctrpred.SchemeCombined(32<<10, ctrpred.PredRegular),
+		ctrpred.SchemeOracle(),
+	}
+
+	base := ctrpred.DefaultConfig(ctrpred.SchemeOracle())
+	base.Scale = ctrpred.Scale{Footprint: 4 << 20, Instructions: 200_000}
+
+	oracle, err := ctrpred.Run(bench, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %s, %d instructions, oracle IPC %.4f\n\n",
+		bench, oracle.CPU.Instructions, oracle.IPC())
+	fmt.Printf("%-26s %12s %12s %14s\n", "scheme", "pred rate", "seq$ rate", "IPC vs oracle")
+	for _, sch := range schemes {
+		cfg := base
+		cfg.Scheme = sch
+		res, err := ctrpred.Run(bench, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s %11.1f%% %11.1f%% %13.1f%%\n",
+			sch.Name, 100*res.PredRate(), 100*res.SeqHitRate(),
+			100*res.IPC()/oracle.IPC())
+	}
+
+	fmt.Println("\nThe paper's ordering: prediction approaches the oracle with")
+	fmt.Println("negligible area, beating even a 512 KB counter cache; the")
+	fmt.Println("optimized predictors recover the counters prediction misses.")
+}

@@ -1,0 +1,3 @@
+module ctrpred
+
+go 1.22

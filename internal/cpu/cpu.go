@@ -1,0 +1,533 @@
+// Package cpu implements the out-of-order processor core of Table 1: an
+// 8-wide fetch/decode/issue/commit machine with a reorder buffer, gshare
+// branch prediction, per-class functional units, and loads/stores that
+// run through the memory hierarchy (package memsys) — and therefore
+// through the encrypted memory controller.
+//
+// # Timing model
+//
+// The core uses the standard one-pass dataflow approximation of an
+// out-of-order pipeline: instructions are executed functionally in
+// program order while their fetch/issue/complete/commit cycles are
+// computed from dataflow and resource constraints:
+//
+//   - fetch is bounded by fetch width, I-cache latency, ROB occupancy
+//     (an instruction cannot fetch until the instruction ROBSize ahead
+//     of it has committed), and branch mispredictions (fetch redirects
+//     when the branch resolves);
+//   - issue waits for source operands (register ready times), a free
+//     functional unit of the right class, and issue bandwidth;
+//   - loads complete when the hierarchy returns data, so independent
+//     loads overlap their misses (memory-level parallelism bounded by
+//     DRAM banks, the bus, and the crypto engine);
+//   - commit is in order, CommitWidth per cycle.
+//
+// This is the level of fidelity the paper's IPC comparisons need: the
+// relative cost of exposed decryption latency on L2 misses. It is not a
+// wrong-path simulator; speculation effects beyond the misprediction
+// redirect penalty are out of scope.
+package cpu
+
+import (
+	"fmt"
+
+	"ctrpred/internal/isa"
+	"ctrpred/internal/mem"
+	"ctrpred/internal/memsys"
+)
+
+// Config holds the core parameters (Table 1 defaults via DefaultConfig).
+type Config struct {
+	FetchWidth  int
+	IssueWidth  int
+	CommitWidth int
+	ROBSize     int
+	// FrontendDepth is the fetch-to-dispatch pipeline depth in cycles.
+	FrontendDepth uint64
+	// MispredictPenalty is the frontend refill delay added after a
+	// mispredicted branch resolves.
+	MispredictPenalty uint64
+	// Functional unit counts.
+	IntALUs  int
+	MulDivs  int
+	FPUs     int
+	MemPorts int
+	// Latencies per class, in cycles.
+	LatALU   uint64
+	LatMul   uint64
+	LatDiv   uint64
+	LatFPAdd uint64
+	LatFPMul uint64
+	LatFPDiv uint64
+	// GshareBits sizes the branch predictor (2^bits counters).
+	GshareBits uint
+	// LVPEntries enables a last-value load-value predictor of that many
+	// entries (Section 9.3's alternative latency-tolerance mechanism;
+	// 0 disables). Confident correct predictions let dependents proceed
+	// at ALU latency; confident wrong ones squash like a branch.
+	LVPEntries int
+}
+
+// DefaultConfig returns the Table 1 core.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:        8,
+		IssueWidth:        8,
+		CommitWidth:       8,
+		ROBSize:           128,
+		FrontendDepth:     3,
+		MispredictPenalty: 3,
+		IntALUs:           4,
+		MulDivs:           1,
+		FPUs:              2,
+		MemPorts:          2,
+		LatALU:            1,
+		LatMul:            3,
+		LatDiv:            20,
+		LatFPAdd:          2,
+		LatFPMul:          4,
+		LatFPDiv:          12,
+		GshareBits:        12,
+	}
+}
+
+// Stats reports the outcome of a run.
+type Stats struct {
+	Instructions uint64
+	Cycles       uint64
+	Loads        uint64
+	Stores       uint64
+	Branches     uint64
+	Mispredicts  uint64
+	// LVPHits/LVPMisses count confident load-value predictions (0 when
+	// the LVP is disabled).
+	LVPHits   uint64
+	LVPMisses uint64
+	Halted    bool // program executed halt (vs. hitting the cap)
+}
+
+// IPC returns instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// Core is one processor instance bound to a program, architectural
+// memory, and a memory hierarchy.
+type Core struct {
+	cfg  Config
+	prog *isa.Program
+	mem  *mem.Memory
+	sys  *memsys.System
+	bp   *gshare
+	lvp  *lvp // nil unless Config.LVPEntries > 0
+
+	regs   [32]uint64
+	pc     uint64
+	halted bool
+
+	// Timing state.
+	nextFetch     uint64 // earliest cycle the next instruction may fetch
+	fetchedAt     uint64 // cycle of the current fetch group
+	fetchedCount  int
+	curFetchLine  uint64 // I-cache line the frontend is streaming from
+	haveFetchLine bool
+	regReady      [32]uint64
+	retireRing    []uint64 // commit cycles of the last ROBSize instrs
+	retireIdx     int
+	lastCommit    uint64
+	commitCount   int
+	issuedAt      uint64
+	issuedCount   int
+	fu            map[isa.Class][]uint64 // per-class unit free times
+
+	stats Stats
+}
+
+// New creates a core at the program's first instruction.
+func New(cfg Config, prog *isa.Program, m *mem.Memory, sys *memsys.System) *Core {
+	c := &Core{
+		cfg:  cfg,
+		prog: prog,
+		mem:  m,
+		sys:  sys,
+		bp:   newGshare(cfg.GshareBits),
+		lvp:  newLVP(cfg.LVPEntries),
+		pc:   prog.Base,
+	}
+	c.retireRing = make([]uint64, cfg.ROBSize)
+	c.fu = map[isa.Class][]uint64{
+		isa.ClassALU:    make([]uint64, cfg.IntALUs),
+		isa.ClassMul:    make([]uint64, cfg.MulDivs),
+		isa.ClassDiv:    make([]uint64, cfg.MulDivs),
+		isa.ClassFPAdd:  make([]uint64, cfg.FPUs),
+		isa.ClassFPMul:  make([]uint64, cfg.FPUs),
+		isa.ClassFPDiv:  make([]uint64, cfg.FPUs),
+		isa.ClassLoad:   make([]uint64, cfg.MemPorts),
+		isa.ClassStore:  make([]uint64, cfg.MemPorts),
+		isa.ClassBranch: make([]uint64, cfg.IntALUs),
+		isa.ClassJump:   make([]uint64, cfg.IntALUs),
+	}
+	return c
+}
+
+// Reg returns architectural register r (tests, examples).
+func (c *Core) Reg(r int) uint64 { return c.regs[r] }
+
+// SetReg initializes architectural register r (program arguments).
+func (c *Core) SetReg(r int, v uint64) {
+	if r != 0 {
+		c.regs[r] = v
+	}
+}
+
+// PC returns the current program counter.
+func (c *Core) PC() uint64 { return c.pc }
+
+// Halted reports whether the program has executed halt.
+func (c *Core) Halted() bool { return c.halted }
+
+// Stats returns a copy of the run statistics so far.
+func (c *Core) Stats() Stats {
+	s := c.stats
+	s.Cycles = c.lastCommit
+	s.Halted = c.halted
+	return s
+}
+
+// latency returns the execution latency for a class (loads handled
+// separately).
+func (c *Core) latency(cl isa.Class) uint64 {
+	switch cl {
+	case isa.ClassALU, isa.ClassBranch, isa.ClassJump:
+		return c.cfg.LatALU
+	case isa.ClassMul:
+		return c.cfg.LatMul
+	case isa.ClassDiv:
+		return c.cfg.LatDiv
+	case isa.ClassFPAdd:
+		return c.cfg.LatFPAdd
+	case isa.ClassFPMul:
+		return c.cfg.LatFPMul
+	case isa.ClassFPDiv:
+		return c.cfg.LatFPDiv
+	}
+	return 1
+}
+
+// reserveFU returns the issue time on the earliest-free unit of class cl,
+// at or after ready, and books the unit until issue+busy.
+func (c *Core) reserveFU(cl isa.Class, ready, busy uint64) uint64 {
+	units := c.fu[cl]
+	best := 0
+	for i := 1; i < len(units); i++ {
+		if units[i] < units[best] {
+			best = i
+		}
+	}
+	start := ready
+	if units[best] > start {
+		start = units[best]
+	}
+	units[best] = start + busy
+	return start
+}
+
+// Run executes until halt or until maxInstructions commit, and returns
+// the final statistics. maxInstructions == 0 means run to halt.
+func (c *Core) Run(maxInstructions uint64) Stats {
+	for !c.halted && (maxInstructions == 0 || c.stats.Instructions < maxInstructions) {
+		c.step()
+	}
+	if c.sys != nil {
+		// Writebacks of still-dirty lines belong to the measured region.
+		c.sys.DrainDirty(c.lastCommit)
+	}
+	return c.Stats()
+}
+
+// step fetches, times, and functionally executes one instruction.
+func (c *Core) step() {
+	in, ok := c.prog.At(c.pc)
+	if !ok {
+		c.halted = true
+		return
+	}
+	thisPC := c.pc
+
+	// ---- Fetch ----
+	fetch := c.nextFetch
+	// ROB occupancy: the slot reused by this instruction must have
+	// committed.
+	if occ := c.retireRing[c.retireIdx]; occ > fetch {
+		fetch = occ
+	}
+	// Fetch-group bandwidth.
+	if fetch == c.fetchedAt && c.fetchedCount >= c.cfg.FetchWidth {
+		fetch++
+	}
+	// I-cache: streaming within a line is free; a new line pays a fetch.
+	lineAddr := thisPC &^ 31
+	if !c.haveFetchLine || lineAddr != c.curFetchLine {
+		done := c.sys.FetchInstr(fetch, thisPC)
+		if done > fetch+1 {
+			fetch = done - 1 // the line arrives; fetch proceeds that cycle
+		}
+		c.curFetchLine = lineAddr
+		c.haveFetchLine = true
+	}
+	if fetch != c.fetchedAt {
+		c.fetchedAt = fetch
+		c.fetchedCount = 0
+	}
+	c.fetchedCount++
+	c.nextFetch = fetch
+
+	dispatch := fetch + c.cfg.FrontendDepth
+
+	// ---- Operand readiness ----
+	ready := dispatch
+	cl := in.Op.Class()
+	usesRs1 := cl != isa.ClassNop && cl != isa.ClassHalt && in.Op != isa.OpLui && in.Op != isa.OpJal
+	if usesRs1 && c.regReady[in.Rs1] > ready {
+		ready = c.regReady[in.Rs1]
+	}
+	usesRs2 := false
+	switch cl {
+	case isa.ClassStore, isa.ClassBranch:
+		usesRs2 = true
+	default:
+		switch in.Op {
+		case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpSll, isa.OpSrl,
+			isa.OpSra, isa.OpSlt, isa.OpSltu, isa.OpMul, isa.OpDiv, isa.OpRem,
+			isa.OpFadd, isa.OpFsub, isa.OpFmul, isa.OpFdiv:
+			usesRs2 = true
+		}
+	}
+	if usesRs2 && c.regReady[in.Rs2] > ready {
+		ready = c.regReady[in.Rs2]
+	}
+
+	// ---- Issue ----
+	issue := ready
+	if issue == c.issuedAt && c.issuedCount >= c.cfg.IssueWidth {
+		issue++
+	}
+	var complete uint64
+	switch cl {
+	case isa.ClassNop, isa.ClassHalt:
+		complete = issue
+	case isa.ClassLoad:
+		issue = c.reserveFU(isa.ClassLoad, issue, 1)
+		addr := c.regs[in.Rs1] + uint64(in.Imm)
+		memDone := c.sys.Access(issue, addr, false)
+		complete = memDone
+		if c.lvp != nil {
+			actual := c.mem.Load(addr, in.Op.MemBytes())
+			if speculated, correct := c.lvp.train(thisPC, actual); speculated {
+				if correct {
+					// Dependents used the predicted value; the access
+					// verifies it in the background.
+					complete = issue + c.cfg.LatALU
+					c.stats.LVPHits++
+				} else {
+					// Squash: dependents replay after the true value
+					// arrives, plus the refill penalty.
+					complete = memDone + c.cfg.MispredictPenalty
+					c.stats.LVPMisses++
+				}
+			}
+		}
+		c.stats.Loads++
+	case isa.ClassStore:
+		issue = c.reserveFU(isa.ClassStore, issue, 1)
+		addr := c.regs[in.Rs1] + uint64(in.Imm)
+		c.sys.Access(issue, addr, true) // posted: state update + occupancy
+		complete = issue + 1
+		c.stats.Stores++
+	default:
+		lat := c.latency(cl)
+		issue = c.reserveFU(cl, issue, 1) // units are pipelined
+		complete = issue + lat
+	}
+	if issue != c.issuedAt {
+		c.issuedAt = issue
+		c.issuedCount = 0
+	}
+	c.issuedCount++
+
+	// ---- Functional execution & control flow ----
+	nextPC, taken := c.exec(in, thisPC)
+
+	switch cl {
+	case isa.ClassBranch:
+		c.stats.Branches++
+		pred := c.bp.predictDirection(thisPC)
+		c.bp.updateDirection(thisPC, taken)
+		if pred != taken {
+			c.stats.Mispredicts++
+			c.redirect(complete)
+		}
+	case isa.ClassJump:
+		if in.Op == isa.OpJalr {
+			c.stats.Branches++
+			predTarget, have := c.bp.predictTarget(thisPC)
+			c.bp.updateTarget(thisPC, nextPC)
+			if !have || predTarget != nextPC {
+				c.stats.Mispredicts++
+				c.redirect(complete)
+			}
+		}
+		// Direct jal: target known at decode; no redirect cost beyond
+		// the taken-path line change handled by the I-cache model.
+	}
+	if nextPC&^31 != thisPC&^31 {
+		c.haveFetchLine = c.haveFetchLine && nextPC&^31 == c.curFetchLine
+	}
+
+	// ---- Writeback ----
+	if writesRd(in) && in.Rd != 0 {
+		c.regReady[in.Rd] = complete
+	}
+
+	// ---- Commit (in order) ----
+	commit := complete
+	if commit < c.lastCommit {
+		commit = c.lastCommit
+	}
+	if commit == c.lastCommit && c.commitCount >= c.cfg.CommitWidth {
+		commit++
+	}
+	if commit != c.lastCommit {
+		c.lastCommit = commit
+		c.commitCount = 0
+	}
+	c.commitCount++
+	c.retireRing[c.retireIdx] = commit
+	c.retireIdx = (c.retireIdx + 1) % c.cfg.ROBSize
+
+	c.stats.Instructions++
+	c.pc = nextPC
+	if in.Op == isa.OpHalt {
+		c.halted = true
+	}
+}
+
+// redirect models a branch misprediction: fetch resumes after resolution
+// plus the refill penalty, and the current fetch line is discarded.
+func (c *Core) redirect(resolve uint64) {
+	restart := resolve + c.cfg.MispredictPenalty
+	if restart > c.nextFetch {
+		c.nextFetch = restart
+	}
+	c.haveFetchLine = false
+}
+
+func writesRd(in isa.Instr) bool {
+	switch in.Op.Class() {
+	case isa.ClassStore, isa.ClassBranch, isa.ClassNop, isa.ClassHalt:
+		return false
+	}
+	return true
+}
+
+// exec computes the architectural effect of in at pc, returning the next
+// PC and (for branches) whether it was taken.
+func (c *Core) exec(in isa.Instr, pc uint64) (nextPC uint64, taken bool) {
+	rs1 := c.regs[in.Rs1]
+	rs2 := c.regs[in.Rs2]
+	set := func(v uint64) {
+		if in.Rd != 0 {
+			c.regs[in.Rd] = v
+		}
+	}
+	nextPC = pc + isa.InstrBytes
+
+	switch in.Op {
+	case isa.OpNop, isa.OpHalt:
+	case isa.OpAdd, isa.OpFadd:
+		set(rs1 + rs2)
+	case isa.OpSub, isa.OpFsub:
+		set(rs1 - rs2)
+	case isa.OpAnd:
+		set(rs1 & rs2)
+	case isa.OpOr:
+		set(rs1 | rs2)
+	case isa.OpXor:
+		set(rs1 ^ rs2)
+	case isa.OpSll:
+		set(rs1 << (rs2 & 63))
+	case isa.OpSrl:
+		set(rs1 >> (rs2 & 63))
+	case isa.OpSra:
+		set(uint64(int64(rs1) >> (rs2 & 63)))
+	case isa.OpSlt:
+		set(b2u(int64(rs1) < int64(rs2)))
+	case isa.OpSltu:
+		set(b2u(rs1 < rs2))
+	case isa.OpMul, isa.OpFmul:
+		set(rs1 * rs2)
+	case isa.OpDiv, isa.OpFdiv:
+		if rs2 == 0 {
+			set(^uint64(0))
+		} else {
+			set(rs1 / rs2)
+		}
+	case isa.OpRem:
+		if rs2 == 0 {
+			set(rs1)
+		} else {
+			set(rs1 % rs2)
+		}
+	case isa.OpAddi:
+		set(rs1 + uint64(in.Imm))
+	case isa.OpAndi:
+		set(rs1 & uint64(in.Imm))
+	case isa.OpOri:
+		set(rs1 | uint64(in.Imm))
+	case isa.OpXori:
+		set(rs1 ^ uint64(in.Imm))
+	case isa.OpSlli:
+		set(rs1 << (uint64(in.Imm) & 63))
+	case isa.OpSrli:
+		set(rs1 >> (uint64(in.Imm) & 63))
+	case isa.OpSrai:
+		set(uint64(int64(rs1) >> (uint64(in.Imm) & 63)))
+	case isa.OpSlti:
+		set(b2u(int64(rs1) < in.Imm))
+	case isa.OpLui:
+		set(uint64(in.Imm) << 12)
+	case isa.OpLd, isa.OpLw, isa.OpLh, isa.OpLb:
+		set(c.mem.Load(rs1+uint64(in.Imm), in.Op.MemBytes()))
+	case isa.OpSd, isa.OpSw, isa.OpSh, isa.OpSb:
+		c.mem.Store(rs1+uint64(in.Imm), in.Op.MemBytes(), rs2)
+	case isa.OpBeq:
+		taken = rs1 == rs2
+	case isa.OpBne:
+		taken = rs1 != rs2
+	case isa.OpBlt:
+		taken = int64(rs1) < int64(rs2)
+	case isa.OpBge:
+		taken = int64(rs1) >= int64(rs2)
+	case isa.OpBltu:
+		taken = rs1 < rs2
+	case isa.OpBgeu:
+		taken = rs1 >= rs2
+	case isa.OpJal:
+		set(pc + isa.InstrBytes)
+		nextPC = pc + uint64(in.Imm)
+		return nextPC, true
+	case isa.OpJalr:
+		set(pc + isa.InstrBytes)
+		nextPC = rs1 + uint64(in.Imm)
+		return nextPC, true
+	default:
+		panic(fmt.Sprintf("cpu: unimplemented opcode %v", in.Op))
+	}
+	if in.Op.Class() == isa.ClassBranch && taken {
+		nextPC = pc + uint64(in.Imm)
+	}
+	return nextPC, taken
+}

@@ -1,0 +1,59 @@
+package cpu
+
+import "ctrpred/internal/isa"
+
+// RunFunctional executes the program without the out-of-order timing
+// model: one instruction per cycle, with memory operations driven through
+// the hierarchy at that cycle. Cache, predictor and counter dynamics are
+// identical to a timed run (they depend only on the access stream), so
+// this mode is used for the long-window prediction-rate experiments
+// (Figures 7–9 and 12–14), where only hit rates — not IPC — are measured.
+// It mirrors the paper's "simplified mode that simulates the memory
+// hierarchy and OTP prediction for 8 billion instructions".
+func (c *Core) RunFunctional(maxInstructions uint64) Stats {
+	now := c.lastCommit
+	for !c.halted && (maxInstructions == 0 || c.stats.Instructions < maxInstructions) {
+		in, ok := c.prog.At(c.pc)
+		if !ok {
+			c.halted = true
+			break
+		}
+		thisPC := c.pc
+		now++
+
+		// Instruction-side stream: one I-access per new line.
+		lineAddr := thisPC &^ 31
+		if !c.haveFetchLine || lineAddr != c.curFetchLine {
+			c.sys.FetchInstr(now, thisPC)
+			c.curFetchLine = lineAddr
+			c.haveFetchLine = true
+		}
+
+		if n := in.Op.MemBytes(); n > 0 {
+			addr := c.regs[in.Rs1] + uint64(in.Imm)
+			write := in.Op.Class() == isa.ClassStore
+			c.sys.Access(now, addr, write)
+			if write {
+				c.stats.Stores++
+			} else {
+				c.stats.Loads++
+			}
+		}
+
+		nextPC, taken := c.exec(in, thisPC)
+		if in.Op.Class() == isa.ClassBranch {
+			c.stats.Branches++
+			_ = taken
+		}
+		c.stats.Instructions++
+		c.pc = nextPC
+		if in.Op == isa.OpHalt {
+			c.halted = true
+		}
+	}
+	c.lastCommit = now
+	if c.sys != nil {
+		c.sys.DrainDirty(now)
+	}
+	return c.Stats()
+}

@@ -1,0 +1,72 @@
+package cpu
+
+import (
+	"testing"
+
+	"ctrpred/internal/predictor"
+)
+
+// Functional mode must produce the same architectural results as the
+// timed out-of-order run — same register state, same instruction count —
+// and the same memory-system event counts (the access stream is
+// identical).
+func TestFunctionalMatchesTimedArchitecturally(t *testing.T) {
+	src := `
+		addi r1, r0, 0
+		addi r2, r0, 500
+		lui  r5, 0x100
+	loop:
+		ld   r3, 0(r5)
+		add  r1, r1, r3
+		sd   r1, 8(r5)
+		addi r5, r5, 32
+		addi r2, r2, -1
+		bne  r2, r0, loop
+		halt`
+	timed, _ := newCore(t, src, predictor.SchemeRegular)
+	funct, _ := newCore(t, src, predictor.SchemeRegular)
+
+	st := timed.Run(0)
+	sf := funct.RunFunctional(0)
+
+	if st.Instructions != sf.Instructions {
+		t.Fatalf("instruction counts differ: %d vs %d", st.Instructions, sf.Instructions)
+	}
+	for r := 0; r < 32; r++ {
+		if timed.Reg(r) != funct.Reg(r) {
+			t.Fatalf("r%d differs: %#x vs %#x", r, timed.Reg(r), funct.Reg(r))
+		}
+	}
+	if st.Loads != sf.Loads || st.Stores != sf.Stores {
+		t.Fatalf("memory op counts differ: %d/%d vs %d/%d", st.Loads, st.Stores, sf.Loads, sf.Stores)
+	}
+}
+
+func TestFunctionalHonorsCap(t *testing.T) {
+	c, _ := newCore(t, "loop:\naddi r1, r1, 1\nbeq r0, r0, loop", predictor.SchemeRegular)
+	st := c.RunFunctional(500)
+	if st.Instructions != 500 || st.Halted {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFunctionalRunsOffEnd(t *testing.T) {
+	c, _ := newCore(t, "addi r1, r0, 3", predictor.SchemeRegular)
+	st := c.RunFunctional(0)
+	if !st.Halted || st.Instructions != 1 || c.Reg(1) != 3 {
+		t.Fatalf("stats = %+v, r1 = %d", st, c.Reg(1))
+	}
+}
+
+func TestFunctionalCyclesAreInstructionCount(t *testing.T) {
+	c, _ := newCore(t, `
+		addi r2, r0, 100
+	loop:
+		addi r2, r2, -1
+		bne  r2, r0, loop
+		halt`, predictor.SchemeRegular)
+	st := c.RunFunctional(0)
+	if st.Cycles != st.Instructions {
+		t.Fatalf("functional cycles %d != instructions %d", st.Cycles, st.Instructions)
+	}
+}

@@ -1,0 +1,158 @@
+// Package cryptoengine models the timing of the secure processor's fully
+// pipelined AES engine (paper Section 5.2 and Table 1): a new pad request
+// can enter the pipeline every cycle, and each request emerges Latency
+// cycles later (96 ns for unrolled AES-256 with 6 stages per round at
+// 1 ns/stage).
+//
+// The engine is shared by three request classes, exactly as in the paper:
+// speculative pad precomputation (predictions), demand pad generation
+// (after the real sequence number arrives), and writeback encryption of
+// evicted dirty lines. Because predictions consume pipeline slots, an
+// over-aggressive predictor can delay demand traffic — the effect the
+// paper cites as the reason prediction depth cannot simply be increased.
+//
+// Functionally the engine delegates to ctr.Keystream, so pads it "computes"
+// are real pads; the simulator decrypts real ciphertext with them.
+package cryptoengine
+
+import (
+	"ctrpred/internal/ctr"
+)
+
+// Config holds the engine's timing parameters.
+type Config struct {
+	// LatencyCycles is the pipeline depth in CPU cycles (default 96,
+	// matching 96 ns at 1 GHz).
+	LatencyCycles uint64
+	// IssuePerCycle is how many pad requests (one request = both 16-byte
+	// pads of a line, i.e. the paper's dual-AES arrangement in Figure 3)
+	// can enter the pipeline per cycle.
+	IssuePerCycle int
+}
+
+// DefaultConfig matches Table 1.
+func DefaultConfig() Config {
+	return Config{LatencyCycles: 96, IssuePerCycle: 1}
+}
+
+// Class labels the purpose of a pad request, for accounting.
+type Class int
+
+const (
+	// ClassPrediction is a speculative pad for a guessed sequence number.
+	ClassPrediction Class = iota
+	// ClassDemand is a pad computed after the true sequence number arrived.
+	ClassDemand
+	// ClassWriteback is a pad for encrypting an evicted dirty line.
+	ClassWriteback
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassPrediction:
+		return "prediction"
+	case ClassDemand:
+		return "demand"
+	case ClassWriteback:
+		return "writeback"
+	}
+	return "unknown"
+}
+
+// Stats aggregates engine activity.
+type Stats struct {
+	Issued      [numClasses]uint64 // requests issued per class
+	StallCycles uint64             // cycles requests waited for an issue slot
+	LastBusy    uint64             // last cycle at which the pipe had work
+}
+
+// IssuedTotal returns the total number of issued requests.
+func (s *Stats) IssuedTotal() uint64 {
+	var t uint64
+	for _, v := range s.Issued {
+		t += v
+	}
+	return t
+}
+
+// Engine is the pipelined AES pad engine.
+type Engine struct {
+	cfg   Config
+	ks    *ctr.Keystream
+	stats Stats
+	// nextIssue is the earliest cycle at which a new request may enter the
+	// pipeline, given everything issued so far.
+	nextIssue uint64
+	// issuedThisCycle tracks multi-issue within the current nextIssue slot.
+	issuedThisCycle int
+}
+
+// New creates an engine using key material via the given keystream.
+func New(cfg Config, ks *ctr.Keystream) *Engine {
+	if cfg.LatencyCycles == 0 {
+		cfg.LatencyCycles = 96
+	}
+	if cfg.IssuePerCycle <= 0 {
+		cfg.IssuePerCycle = 1
+	}
+	return &Engine{cfg: cfg, ks: ks}
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Compute issues a pad request at or after cycle now and returns the pad
+// plus the cycle at which it emerges from the pipeline. Requests are
+// serviced in issue order; if the current cycle's issue slots are full the
+// request slips to a later cycle (recorded as stall time).
+func (e *Engine) Compute(now uint64, vaddr, seq uint64, class Class) (ctr.Pad, uint64) {
+	start := e.reserveSlot(now)
+	e.stats.Issued[class]++
+	if start > now {
+		e.stats.StallCycles += start - now
+	}
+	ready := start + e.cfg.LatencyCycles
+	if ready > e.stats.LastBusy {
+		e.stats.LastBusy = ready
+	}
+	return e.ks.Pad(vaddr, seq), ready
+}
+
+// ScheduleOnly reserves a pipeline slot and returns the ready cycle
+// without computing the pad. The sequence-number-cache and oracle paths
+// use this when only timing matters (their pads are computed on the
+// functional path).
+func (e *Engine) ScheduleOnly(now uint64, class Class) uint64 {
+	start := e.reserveSlot(now)
+	e.stats.Issued[class]++
+	if start > now {
+		e.stats.StallCycles += start - now
+	}
+	ready := start + e.cfg.LatencyCycles
+	if ready > e.stats.LastBusy {
+		e.stats.LastBusy = ready
+	}
+	return ready
+}
+
+func (e *Engine) reserveSlot(now uint64) uint64 {
+	if now > e.nextIssue {
+		e.nextIssue = now
+		e.issuedThisCycle = 0
+	}
+	start := e.nextIssue
+	e.issuedThisCycle++
+	if e.issuedThisCycle >= e.cfg.IssuePerCycle {
+		e.nextIssue = start + 1
+		e.issuedThisCycle = 0
+	}
+	return start
+}
+
+// Keystream exposes the functional keystream, for paths that need a pad
+// without timing (e.g. initial memory image encryption).
+func (e *Engine) Keystream() *ctr.Keystream { return e.ks }

@@ -1,0 +1,120 @@
+package cryptoengine
+
+import (
+	"testing"
+
+	"ctrpred/internal/ctr"
+)
+
+func newEngine(cfg Config) *Engine {
+	var key [32]byte
+	key[0] = 1
+	return New(cfg, ctr.NewKeystream(key))
+}
+
+func TestLatency(t *testing.T) {
+	e := newEngine(Config{LatencyCycles: 96, IssuePerCycle: 1})
+	_, ready := e.Compute(100, 0x1000, 1, ClassDemand)
+	if ready != 196 {
+		t.Fatalf("ready = %d, want 196", ready)
+	}
+}
+
+func TestPipelinedIssue(t *testing.T) {
+	// Back-to-back requests at the same cycle issue on consecutive cycles
+	// (1/cycle) and finish one cycle apart: the pipeline overlaps them.
+	e := newEngine(Config{LatencyCycles: 10, IssuePerCycle: 1})
+	var readies []uint64
+	for i := 0; i < 4; i++ {
+		_, r := e.Compute(0, 0x1000, uint64(i), ClassPrediction)
+		readies = append(readies, r)
+	}
+	for i, r := range readies {
+		if want := uint64(10 + i); r != want {
+			t.Fatalf("request %d ready at %d, want %d", i, r, want)
+		}
+	}
+	if e.Stats().StallCycles != 0+1+2+3 {
+		t.Fatalf("stall cycles = %d, want 6", e.Stats().StallCycles)
+	}
+}
+
+func TestMultiIssue(t *testing.T) {
+	e := newEngine(Config{LatencyCycles: 10, IssuePerCycle: 2})
+	var readies []uint64
+	for i := 0; i < 4; i++ {
+		_, r := e.Compute(0, 0x1000, uint64(i), ClassPrediction)
+		readies = append(readies, r)
+	}
+	want := []uint64{10, 10, 11, 11}
+	for i := range want {
+		if readies[i] != want[i] {
+			t.Fatalf("readies = %v, want %v", readies, want)
+		}
+	}
+}
+
+func TestIdleEngineAcceptsImmediately(t *testing.T) {
+	e := newEngine(Config{LatencyCycles: 5, IssuePerCycle: 1})
+	_, r1 := e.Compute(0, 0x1000, 0, ClassDemand)
+	_, r2 := e.Compute(1000, 0x1000, 1, ClassDemand)
+	if r1 != 5 || r2 != 1005 {
+		t.Fatalf("r1=%d r2=%d", r1, r2)
+	}
+	if e.Stats().StallCycles != 0 {
+		t.Fatalf("unexpected stalls: %d", e.Stats().StallCycles)
+	}
+}
+
+func TestPadMatchesKeystream(t *testing.T) {
+	var key [32]byte
+	key[5] = 9
+	ks := ctr.NewKeystream(key)
+	e := New(DefaultConfig(), ks)
+	pad, _ := e.Compute(0, 0x2000, 77, ClassDemand)
+	if pad != ks.Pad(0x2000, 77) {
+		t.Fatal("engine pad differs from keystream pad")
+	}
+}
+
+func TestClassAccounting(t *testing.T) {
+	e := newEngine(Config{LatencyCycles: 1, IssuePerCycle: 4})
+	e.Compute(0, 0, 0, ClassPrediction)
+	e.Compute(0, 0, 1, ClassPrediction)
+	e.Compute(0, 0, 2, ClassDemand)
+	e.ScheduleOnly(0, ClassWriteback)
+	s := e.Stats()
+	if s.Issued[ClassPrediction] != 2 || s.Issued[ClassDemand] != 1 || s.Issued[ClassWriteback] != 1 {
+		t.Fatalf("issued = %v", s.Issued)
+	}
+	if s.IssuedTotal() != 4 {
+		t.Fatalf("total = %d", s.IssuedTotal())
+	}
+}
+
+func TestScheduleOnlyTiming(t *testing.T) {
+	e := newEngine(Config{LatencyCycles: 7, IssuePerCycle: 1})
+	if r := e.ScheduleOnly(3, ClassDemand); r != 10 {
+		t.Fatalf("ready = %d, want 10", r)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	e := newEngine(Config{}) // zero config gets defaults
+	if e.Config().LatencyCycles != 96 || e.Config().IssuePerCycle != 1 {
+		t.Fatalf("defaults not applied: %+v", e.Config())
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{
+		ClassPrediction: "prediction",
+		ClassDemand:     "demand",
+		ClassWriteback:  "writeback",
+		Class(99):       "unknown",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("Class(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+}

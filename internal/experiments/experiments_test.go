@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ctrpred/internal/workload"
+)
+
+// quickOpts keeps experiment tests fast: a few benchmarks, small windows.
+func quickOpts() Options {
+	return Options{
+		// Big enough that a 128 KB counter cache cannot cover the working
+		// set (the Figure 7 contrast), small enough for fast tests.
+		Scale:      workload.Scale{Footprint: 4 << 20, Instructions: 30_000},
+		Benchmarks: []string{"mcf", "gzip", "swim"},
+		Seed:       3,
+	}
+}
+
+func TestIDsRoundTrip(t *testing.T) {
+	for _, id := range IDs() {
+		if id == "table1" {
+			continue // no sim needed
+		}
+	}
+	if _, err := ByID("bogus", quickOpts()); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+	if len(IDs()) != 18 {
+		t.Fatalf("IDs() has %d entries", len(IDs()))
+	}
+}
+
+func TestTable1(t *testing.T) {
+	res := Table1()
+	s := res.Table.String()
+	for _, want := range []string{"Fetch/Decode width", "AES latency", "Prediction depth", "96"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigure4Timeline(t *testing.T) {
+	res, err := Figure4Timeline(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := res.Series["baseline"]["data_ready"]
+	pred := res.Series["otp-prediction"]["data_ready"]
+	warm := res.Series["seqcache(warm)"]["data_ready"]
+	orac := res.Series["oracle"]["data_ready"]
+	if !(pred < base) {
+		t.Fatalf("prediction (%v) not faster than baseline (%v)", pred, base)
+	}
+	if !(warm < base) || !(orac < base) {
+		t.Fatalf("warm cache (%v) / oracle (%v) not faster than baseline (%v)", warm, orac, base)
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	res, err := Figure7(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	predAvg := res.Series["Pred"]["Average"]
+	c128 := res.Series["128K_Seq#_Cache"]["Average"]
+	if predAvg <= c128 {
+		t.Fatalf("prediction average %.3f not above 128K cache %.3f", predAvg, c128)
+	}
+	if predAvg < 0.5 || predAvg > 1.0 {
+		t.Fatalf("prediction average %.3f implausible", predAvg)
+	}
+	// Table has one row per benchmark plus Average.
+	if res.Table.NumRows() != len(quickOpts().Benchmarks)+1 {
+		t.Fatalf("rows = %d", res.Table.NumRows())
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	res, err := Figure9(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bench := range quickOpts().Benchmarks {
+		total := res.Series["Pred_Hit"][bench] + res.Series["Seq_Only"][bench] + res.Series["Both_Hit"][bench]
+		if total < 0 || total > 1.0001 {
+			t.Fatalf("%s: coverage fractions sum to %v", bench, total)
+		}
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	opt := quickOpts()
+	opt.Benchmarks = []string{"mcf"} // keep the perf-mode run count low
+	res, err := Figure10(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, series := range res.Series {
+		v := series["mcf"]
+		if v <= 0 || v > 1.15 {
+			t.Fatalf("%s normalized IPC = %v, want (0, ~1]", name, v)
+		}
+	}
+	if res.Series["Pred"]["mcf"] <= res.Series["Seq_Cache_4K"]["mcf"] {
+		t.Fatalf("prediction (%v) not above 4K cache (%v) on mcf",
+			res.Series["Pred"]["mcf"], res.Series["Seq_Cache_4K"]["mcf"])
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	res, err := Figure12(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := res.Series["Regular"]["Average"]
+	two := res.Series["Two-level"]["Average"]
+	ctx := res.Series["Context"]["Average"]
+	if two < reg-0.02 {
+		t.Fatalf("two-level average %.3f below regular %.3f", two, reg)
+	}
+	if ctx < reg-0.02 {
+		t.Fatalf("context average %.3f below regular %.3f", ctx, reg)
+	}
+}
+
+func TestFigure14Shape(t *testing.T) {
+	res, err := Figure14(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := res.Series["256KB_L2"]["Average"]
+	big := res.Series["1MB_L2"]["Average"]
+	if big > small {
+		t.Fatalf("1MB L2 issued more predictions (%v) than 256KB (%v)", big, small)
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	opt := quickOpts()
+	opt.Benchmarks = []string{"gzip", "mcf"}
+	res, err := Ablation(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := res.Series["pred_rate"]
+	if rates["regular (default)"] < rates["non-adaptive"]-0.02 {
+		t.Fatalf("adaptive (%v) worse than non-adaptive (%v)", rates["regular (default)"], rates["non-adaptive"])
+	}
+	if rates["depth=11"] < rates["depth=1"]-0.02 {
+		t.Fatalf("depth=11 (%v) worse than depth=1 (%v)", rates["depth=11"], rates["depth=1"])
+	}
+	if len(rates) != 10 {
+		t.Fatalf("ablation has %d variants", len(rates))
+	}
+}
+
+func TestContextSwitchShape(t *testing.T) {
+	opt := quickOpts()
+	opt.Benchmarks = []string{"mcf", "vpr"}
+	res, err := ContextSwitch(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cacheNone := res.Series["seqcache-128K"]["none"]
+	cacheFast := res.Series["seqcache-128K"]["window/128"]
+	predNone := res.Series["pred-regular"]["none"]
+	predFast := res.Series["pred-regular"]["window/128"]
+	if cacheFast > cacheNone+0.01 {
+		t.Fatalf("cache coverage rose under switching: %.3f -> %.3f", cacheNone, cacheFast)
+	}
+	// Prediction must degrade far less than caching does.
+	cacheLoss := cacheNone - cacheFast
+	predLoss := predNone - predFast
+	if predLoss > cacheLoss/2+0.02 {
+		t.Fatalf("prediction lost %.3f vs cache loss %.3f — asymmetry missing", predLoss, cacheLoss)
+	}
+}
+
+func TestIntegrityShape(t *testing.T) {
+	opt := quickOpts()
+	opt.Benchmarks = []string{"mcf"}
+	res, err := Integrity(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for scheme, ratio := range map[string]float64{
+		"baseline":     res.Series["normalized_ipc"]["baseline"],
+		"pred-regular": res.Series["normalized_ipc"]["pred-regular"],
+	} {
+		if ratio <= 0 || ratio > 1.0001 {
+			t.Fatalf("%s tree/no-tree IPC ratio = %.3f, want (0, 1]", scheme, ratio)
+		}
+	}
+}
+
+func TestHybridShape(t *testing.T) {
+	opt := quickOpts()
+	opt.Benchmarks = []string{"mcf"}
+	res, err := Hybrid(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Series["normalized_ipc"]
+	if v["prediction-only"] <= v["baseline"] {
+		t.Fatalf("prediction (%.3f) not above baseline (%.3f)", v["prediction-only"], v["baseline"])
+	}
+	if v["hybrid"] < v["prediction-only"]-0.02 {
+		t.Fatalf("hybrid (%.3f) below prediction alone (%.3f)", v["hybrid"], v["prediction-only"])
+	}
+}
+
+func TestSeqCacheSweepShape(t *testing.T) {
+	opt := quickOpts()
+	opt.Benchmarks = []string{"mcf", "vpr"}
+	res, err := SeqCacheSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.Series["hit_rate"]
+	if h["1024KB"] < h["4KB"] {
+		t.Fatalf("hit rate fell with size: %.3f -> %.3f", h["4KB"], h["1024KB"])
+	}
+	// The motivating contrast: prediction with zero storage beats the
+	// mid-sized caches on these pointer-chasing benchmarks.
+	if h["prediction (0KB)"] <= h["128KB"] {
+		t.Fatalf("prediction (%.3f) not above 128KB cache (%.3f)", h["prediction (0KB)"], h["128KB"])
+	}
+}
+
+func TestValuePredictionShape(t *testing.T) {
+	opt := quickOpts()
+	opt.Benchmarks = []string{"mcf"}
+	res, err := ValuePrediction(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Series["normalized_ipc"]
+	// On pointer chasing, value locality is poor: LVP alone cannot match
+	// counter prediction (the paper's §9.3 distinction).
+	if v["lvp-only"] >= v["otp-pred-only"] {
+		t.Fatalf("LVP alone (%.3f) matched OTP prediction (%.3f) on mcf", v["lvp-only"], v["otp-pred-only"])
+	}
+	if v["otp-pred+lvp"] < v["otp-pred-only"]-0.02 {
+		t.Fatalf("adding LVP hurt (%.3f vs %.3f)", v["otp-pred+lvp"], v["otp-pred-only"])
+	}
+}
+
+func TestOptionsNormalized(t *testing.T) {
+	o := Options{}.normalized()
+	if o.Scale.Footprint == 0 || o.Scale.Instructions == 0 || len(o.Benchmarks) != 14 || o.Seed == 0 {
+		t.Fatalf("normalized options incomplete: %+v", o)
+	}
+}
+
+func TestL2Name(t *testing.T) {
+	if l2Name(256<<10) != "256KB" || l2Name(1<<20) != "1MB" {
+		t.Fatal("l2Name wrong")
+	}
+}

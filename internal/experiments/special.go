@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ctrpred/internal/cryptoengine"
+	"ctrpred/internal/ctr"
+	"ctrpred/internal/dram"
+	"ctrpred/internal/mem"
+	"ctrpred/internal/predictor"
+	"ctrpred/internal/secmem"
+	"ctrpred/internal/seqcache"
+	"ctrpred/internal/sim"
+	"ctrpred/internal/stats"
+)
+
+// Table1 renders the processor model parameters actually configured in
+// the simulator, for side-by-side comparison with the paper's Table 1.
+func Table1() Result {
+	cfg := sim.DefaultConfig(sim.SchemeBaseline())
+	t := stats.NewTable("Table 1 — Processor model parameters", "Parameter", "Value")
+	add := func(k, v string) { t.AddRow(k, v) }
+	add("Fetch/Decode width", fmt.Sprintf("%d", cfg.CPU.FetchWidth))
+	add("Issue/Commit width", fmt.Sprintf("%d/%d", cfg.CPU.IssueWidth, cfg.CPU.CommitWidth))
+	add("ROB size", fmt.Sprintf("%d", cfg.CPU.ROBSize))
+	add("L1 I-Cache", fmt.Sprintf("DM, %dKB, 32B line", cfg.Mem.L1ISize>>10))
+	add("L1 D-Cache", fmt.Sprintf("DM, %dKB, 32B line, write-through", cfg.Mem.L1DSize>>10))
+	add("L2 Cache", fmt.Sprintf("%d-way, unified, 32B line, writeback, 256KB and 1MB", cfg.Mem.L2Ways))
+	add("L1 latency", fmt.Sprintf("%d cycle", cfg.Mem.L1Latency))
+	add("L2 latency", "4 cycles (256KB), 8 cycles (1MB)")
+	add("I-TLB / D-TLB", fmt.Sprintf("%d-way, %d entries", cfg.Mem.TLBWays, cfg.Mem.TLBEntries))
+	add("Memory bus", fmt.Sprintf("200MHz, %dB wide", cfg.DRAM.BusBytes))
+	add("DRAM", fmt.Sprintf("%d banks, %dB rows, tRCD/tCAS/tRP = %d/%d/%d ns",
+		cfg.DRAM.Banks, cfg.DRAM.RowBytes, cfg.DRAM.TRCD, cfg.DRAM.TCAS, cfg.DRAM.TRP))
+	add("AES latency", fmt.Sprintf("%d ns, fully pipelined (AES-256)", cfg.Engine.LatencyCycles))
+	pc := predictor.DefaultConfig(predictor.SchemeContext)
+	add("Sequence number cache", "4KB, 32KB, 128KB, 512KB (32B line) in sweeps")
+	add("Prediction history vector", fmt.Sprintf("%d bits", pc.PHVBits))
+	add("PHV reset threshold", fmt.Sprintf("%d", pc.ResetThreshold))
+	add("Prediction depth", fmt.Sprintf("%d", pc.Depth))
+	add("Prediction swing (context)", fmt.Sprintf("%d", pc.Swing))
+	add("Range table (two-level)", fmt.Sprintf("%d entries, %d-bit ranges", pc.RangeTableEntries, pc.RangeBits))
+	add("Dirty-line flush", "every 25M cycles (scaled with run length)")
+	return Result{
+		ID:    "Table 1",
+		Title: "Processor model parameters",
+		Table: t,
+		Notes: "Matches the paper's Table 1; DRAM detail follows the Gries/Romer SDRAM model.",
+	}
+}
+
+// Figure4Timeline reproduces the Figure 4 timelines as a microbenchmark:
+// the latency of a single cold L2 miss under the baseline, sequence
+// number caching (warm), OTP prediction, and the oracle.
+func Figure4Timeline(opt Options) (Result, error) {
+	opt = opt.normalized()
+	res := Result{
+		ID:     "Figure 4",
+		Title:  "Timeline comparison of OTP computation (single-miss latency, cycles)",
+		Notes:  "Paper: prediction hides pad generation behind the line fetch; baseline serializes counter fetch + AES.",
+		Series: map[string]map[string]float64{},
+	}
+	res.Table = stats.NewTable("Figure 4 — single L2-miss latency (cycles)",
+		"scenario", "counter_at", "line_at", "data_ready")
+
+	type scenario struct {
+		name   string
+		scheme predictor.Scheme
+		warmSC int // seq-cache bytes, warmed before the measured miss
+		oracle bool
+		direct bool
+	}
+	scenarios := []scenario{
+		{name: "direct-encryption", scheme: predictor.SchemeNone, direct: true},
+		{name: "baseline", scheme: predictor.SchemeNone},
+		{name: "seqcache(warm)", scheme: predictor.SchemeNone, warmSC: 4 << 10},
+		{name: "otp-prediction", scheme: predictor.SchemeRegular},
+		{name: "oracle", scheme: predictor.SchemeNone, oracle: true},
+	}
+	var key [32]byte
+	key[0] = 0x11
+	for _, sc := range scenarios {
+		image := mem.New()
+		d := dram.New(dram.DefaultConfig())
+		e := cryptoengine.New(cryptoengine.DefaultConfig(), ctr.NewKeystream(key))
+		p := predictor.New(predictor.DefaultConfig(sc.scheme))
+		var cache *seqcache.Cache
+		if sc.warmSC > 0 {
+			cache = seqcache.New(sc.warmSC)
+		}
+		cfg := secmem.DefaultConfig()
+		cfg.Oracle = sc.oracle
+		cfg.Direct = sc.direct
+		ctrl := secmem.New(cfg, d, e, p, cache, image)
+		const addr = 0x100000
+		if cache != nil {
+			// Warm the counter into the cache with an earlier fetch.
+			ctrl.FetchLine(0, addr)
+		}
+		r := ctrl.FetchLine(1_000_000, addr)
+		start := uint64(1_000_000)
+		res.Table.AddRow(sc.name,
+			fmt.Sprintf("%d", r.SeqDone-start),
+			fmt.Sprintf("%d", r.LineDone-start),
+			fmt.Sprintf("%d", r.Done-start))
+		res.Series[sc.name] = map[string]float64{"data_ready": float64(r.Done - start)}
+	}
+	return res, nil
+}
+
+// Ablation sweeps the design parameters Sections 3, 7 and 8 discuss:
+// adaptive resets on/off, prediction depth, root-history depth, and the
+// context swing, reporting average prediction rate over the benchmarks.
+func Ablation(opt Options) (Result, error) {
+	opt = opt.normalized()
+	res := Result{
+		ID:     "Ablation",
+		Title:  "Predictor design-parameter sweeps (average prediction rate)",
+		Notes:  "Paper: adaptivity is essential for write-heavy programs; depth beyond ~5 overloads the engine; root history is marginal.",
+		Series: map[string]map[string]float64{"pred_rate": {}},
+	}
+	res.Table = stats.NewTable("Ablation — average prediction rate across benchmarks",
+		"variant", "pred_rate", "guesses/fetch")
+
+	type variant struct {
+		name string
+		mod  func(*predictor.Config)
+	}
+	variants := []variant{
+		{"regular (default)", func(c *predictor.Config) {}},
+		{"non-adaptive", func(c *predictor.Config) { c.Adaptive = false }},
+		{"depth=1", func(c *predictor.Config) { c.Depth = 1 }},
+		{"depth=11", func(c *predictor.Config) { c.Depth = 11 }},
+		{"history=1", func(c *predictor.Config) { c.HistoryDepth = 1 }},
+		{"history=2", func(c *predictor.Config) { c.HistoryDepth = 2 }},
+		{"threshold=4", func(c *predictor.Config) { c.ResetThreshold = 4 }},
+		{"threshold=16", func(c *predictor.Config) { c.ResetThreshold = 16 }},
+		{"context swing=1", func(c *predictor.Config) { c.Scheme = predictor.SchemeContext; c.Swing = 1 }},
+		{"context swing=7", func(c *predictor.Config) { c.Scheme = predictor.SchemeContext; c.Swing = 7 }},
+	}
+	for _, v := range variants {
+		pc := predictor.DefaultConfig(predictor.SchemeRegular)
+		v.mod(&pc)
+		scheme := sim.Scheme{Name: v.name, Pred: pc.Scheme, PredConfig: &pc}
+		var rateSum, guessPerFetch float64
+		var n int
+		for _, bench := range opt.Benchmarks {
+			r, err := sim.Run(bench, hitRateConfig(opt, scheme, 256<<10))
+			if err != nil {
+				return Result{}, fmt.Errorf("ablation %s: %w", v.name, err)
+			}
+			rateSum += r.PredRate()
+			if r.Pred.Fetches > 0 {
+				guessPerFetch += float64(r.Pred.Guesses) / float64(r.Pred.Fetches)
+			}
+			n++
+		}
+		avg := rateSum / float64(n)
+		res.Series["pred_rate"][v.name] = avg
+		res.Table.AddFloats(v.name, 3, avg, guessPerFetch/float64(n))
+	}
+	return res, nil
+}

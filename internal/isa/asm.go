@@ -1,0 +1,281 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates assembly text into a Program based at base.
+//
+// Syntax, one statement per line ('#' starts a comment):
+//
+//	label:                     ; labels may share a line with an instruction
+//	add   rd, rs1, rs2         ; register-register ops
+//	addi  rd, rs1, imm         ; register-immediate ops (dec, hex, negative)
+//	lui   rd, imm
+//	ld    rd, imm(rs1)         ; loads
+//	sd    rs2, imm(rs1)        ; stores
+//	beq   rs1, rs2, label|imm  ; branches, PC-relative
+//	jal   rd, label|imm        ; PC-relative call
+//	jalr  rd, rs1, imm         ; absolute indirect
+//	halt / nop
+//
+// Registers are r0..r31; "zero" is an alias for r0.
+func Assemble(src string, base uint64) (*Program, error) {
+	type pending struct {
+		instrIdx int
+		label    string
+		line     int
+	}
+	p := &Program{Base: base, Labels: make(map[string]uint64)}
+	var fixups []pending
+
+	opsByName := make(map[string]Op, numOps)
+	for op := Op(0); op < numOps; op++ {
+		opsByName[op.String()] = op
+	}
+
+	lines := strings.Split(src, "\n")
+	for lineNo, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		// Peel off any leading labels.
+		for {
+			colon := strings.IndexByte(line, ':')
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if !isIdent(label) {
+				return nil, fmt.Errorf("line %d: bad label %q", lineNo+1, label)
+			}
+			if _, dup := p.Labels[label]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", lineNo+1, label)
+			}
+			p.Labels[label] = p.PC(len(p.Instrs))
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+
+		fields := strings.SplitN(line, " ", 2)
+		mnemonic := strings.ToLower(fields[0])
+		op, ok := opsByName[mnemonic]
+		if !ok {
+			return nil, fmt.Errorf("line %d: unknown opcode %q", lineNo+1, mnemonic)
+		}
+		var args []string
+		if len(fields) > 1 {
+			for _, a := range strings.Split(fields[1], ",") {
+				args = append(args, strings.TrimSpace(a))
+			}
+		}
+
+		in := Instr{Op: op}
+		var labelRef string
+		var err error
+		switch op.Class() {
+		case ClassNop, ClassHalt:
+			if len(args) != 0 {
+				err = fmt.Errorf("%s takes no operands", op)
+			}
+		case ClassLoad:
+			err = expect(args, 2)
+			if err == nil {
+				in.Rd, err = parseReg(args[0])
+			}
+			if err == nil {
+				in.Imm, in.Rs1, err = parseMemOperand(args[1])
+			}
+		case ClassStore:
+			err = expect(args, 2)
+			if err == nil {
+				in.Rs2, err = parseReg(args[0])
+			}
+			if err == nil {
+				in.Imm, in.Rs1, err = parseMemOperand(args[1])
+			}
+		case ClassBranch:
+			err = expect(args, 3)
+			if err == nil {
+				in.Rs1, err = parseReg(args[0])
+			}
+			if err == nil {
+				in.Rs2, err = parseReg(args[1])
+			}
+			if err == nil {
+				labelRef, in.Imm, err = parseTarget(args[2])
+			}
+		case ClassJump:
+			if op == OpJal {
+				err = expect(args, 2)
+				if err == nil {
+					in.Rd, err = parseReg(args[0])
+				}
+				if err == nil {
+					labelRef, in.Imm, err = parseTarget(args[1])
+				}
+			} else { // jalr
+				err = expect(args, 3)
+				if err == nil {
+					in.Rd, err = parseReg(args[0])
+				}
+				if err == nil {
+					in.Rs1, err = parseReg(args[1])
+				}
+				if err == nil {
+					in.Imm, err = parseImm(args[2])
+				}
+			}
+		default:
+			switch op {
+			case OpLui:
+				err = expect(args, 2)
+				if err == nil {
+					in.Rd, err = parseReg(args[0])
+				}
+				if err == nil {
+					in.Imm, err = parseImm(args[1])
+				}
+			case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti:
+				err = expect(args, 3)
+				if err == nil {
+					in.Rd, err = parseReg(args[0])
+				}
+				if err == nil {
+					in.Rs1, err = parseReg(args[1])
+				}
+				if err == nil {
+					in.Imm, err = parseImm(args[2])
+				}
+			default: // register-register
+				err = expect(args, 3)
+				if err == nil {
+					in.Rd, err = parseReg(args[0])
+				}
+				if err == nil {
+					in.Rs1, err = parseReg(args[1])
+				}
+				if err == nil {
+					in.Rs2, err = parseReg(args[2])
+				}
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %s: %v", lineNo+1, mnemonic, err)
+		}
+		if labelRef != "" {
+			fixups = append(fixups, pending{instrIdx: len(p.Instrs), label: labelRef, line: lineNo + 1})
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+
+	for _, f := range fixups {
+		target, ok := p.Labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("line %d: undefined label %q", f.line, f.label)
+		}
+		p.Instrs[f.instrIdx].Imm = int64(target) - int64(p.PC(f.instrIdx))
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble for known-good (compiled-in) sources.
+func MustAssemble(src string, base uint64) *Program {
+	p, err := Assemble(src, base)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func expect(args []string, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("want %d operands, got %d", n, len(args))
+	}
+	return nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "zero" {
+		return 0, nil
+	}
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v > 1<<31-1 || v < -(1<<31) {
+		return 0, fmt.Errorf("immediate %d out of 32-bit range", v)
+	}
+	return v, nil
+}
+
+// parseMemOperand parses "imm(rN)" or "(rN)".
+func parseMemOperand(s string) (imm int64, reg uint8, err error) {
+	open := strings.IndexByte(s, '(')
+	closeP := strings.IndexByte(s, ')')
+	if open < 0 || closeP < open {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	if strings.TrimSpace(s[closeP+1:]) != "" {
+		return 0, 0, fmt.Errorf("trailing junk in %q", s)
+	}
+	if immStr := strings.TrimSpace(s[:open]); immStr != "" {
+		if imm, err = parseImm(immStr); err != nil {
+			return 0, 0, err
+		}
+	}
+	reg, err = parseReg(s[open+1 : closeP])
+	return imm, reg, err
+}
+
+// parseTarget parses either a numeric PC-relative offset or a label name.
+func parseTarget(s string) (label string, imm int64, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", 0, fmt.Errorf("empty target")
+	}
+	if c := s[0]; c == '-' || c == '+' || (c >= '0' && c <= '9') {
+		imm, err = parseImm(s)
+		return "", imm, err
+	}
+	if !isIdent(s) {
+		return "", 0, fmt.Errorf("bad target %q", s)
+	}
+	return s, 0, nil
+}

@@ -1,0 +1,115 @@
+// Package mem holds the architectural (plaintext) memory image as seen
+// from inside the secure processor boundary. The CPU's loads and stores
+// operate on this image; package secmem keeps the encrypted off-chip copy
+// and checks, on every fetch, that decrypting it reproduces this image.
+//
+// Storage is sparse at cache-line granularity so multi-gigabyte address
+// spaces cost only what a workload touches. Values are little-endian.
+package mem
+
+import (
+	"fmt"
+
+	"ctrpred/internal/ctr"
+)
+
+// Memory is a sparse line-granular byte store. The zero value is not
+// usable; call New.
+type Memory struct {
+	lines map[uint64]*ctr.Line
+}
+
+// New creates an empty memory.
+func New() *Memory {
+	return &Memory{lines: make(map[uint64]*ctr.Line)}
+}
+
+// LineAddr returns addr rounded down to its 32-byte line.
+func LineAddr(addr uint64) uint64 { return addr &^ uint64(ctr.LineSize-1) }
+
+func (m *Memory) line(addr uint64, create bool) *ctr.Line {
+	la := LineAddr(addr)
+	l := m.lines[la]
+	if l == nil && create {
+		l = new(ctr.Line)
+		m.lines[la] = l
+	}
+	return l
+}
+
+// checkSpan panics if an access of size bytes at addr crosses a line
+// boundary or has an unsupported size. The ISA only generates 1/2/4/8-byte
+// naturally aligned accesses, so a crossing indicates a simulator bug.
+func checkSpan(addr uint64, size int) {
+	switch size {
+	case 1, 2, 4, 8:
+	default:
+		panic(fmt.Sprintf("mem: unsupported access size %d", size))
+	}
+	if addr%uint64(ctr.LineSize)+uint64(size) > uint64(ctr.LineSize) {
+		panic(fmt.Sprintf("mem: access at %#x size %d crosses line boundary", addr, size))
+	}
+}
+
+// Load reads size bytes (1, 2, 4 or 8) at addr, zero-extended,
+// little-endian. Unwritten memory reads as zero.
+func (m *Memory) Load(addr uint64, size int) uint64 {
+	checkSpan(addr, size)
+	l := m.line(addr, false)
+	if l == nil {
+		return 0
+	}
+	off := int(addr % uint64(ctr.LineSize))
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(l[off+i])
+	}
+	return v
+}
+
+// Store writes the low size bytes of val at addr, little-endian.
+func (m *Memory) Store(addr uint64, size int, val uint64) {
+	checkSpan(addr, size)
+	l := m.line(addr, true)
+	off := int(addr % uint64(ctr.LineSize))
+	for i := 0; i < size; i++ {
+		l[off+i] = byte(val >> (8 * i))
+	}
+}
+
+// LineAt returns a copy of the line containing addr.
+func (m *Memory) LineAt(addr uint64) ctr.Line {
+	if l := m.line(addr, false); l != nil {
+		return *l
+	}
+	return ctr.Line{}
+}
+
+// SetLine replaces the line containing addr.
+func (m *Memory) SetLine(addr uint64, data ctr.Line) {
+	*m.line(addr, true) = data
+}
+
+// WriteBytes copies p into memory starting at addr (image loading).
+func (m *Memory) WriteBytes(addr uint64, p []byte) {
+	for i, b := range p {
+		a := addr + uint64(i)
+		l := m.line(a, true)
+		l[a%uint64(ctr.LineSize)] = b
+	}
+}
+
+// ReadBytes copies len(p) bytes starting at addr into p.
+func (m *Memory) ReadBytes(addr uint64, p []byte) {
+	for i := range p {
+		a := addr + uint64(i)
+		if l := m.line(a, false); l != nil {
+			p[i] = l[a%uint64(ctr.LineSize)]
+		} else {
+			p[i] = 0
+		}
+	}
+}
+
+// TouchedLines reports how many distinct lines have been written.
+func (m *Memory) TouchedLines() int { return len(m.lines) }

@@ -1,0 +1,459 @@
+package predictor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newPred(s Scheme) *Predictor { return New(DefaultConfig(s)) }
+
+func contains(g []uint64, v uint64) bool {
+	for _, x := range g {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSchemeNone(t *testing.T) {
+	p := newPred(SchemeNone)
+	if g := p.Predict(0x1000); g != nil {
+		t.Fatalf("SchemeNone predicted %v", g)
+	}
+	p.Observe(0x1000, 5, false)
+	if p.Stats().Fetches != 0 {
+		t.Fatal("SchemeNone recorded a fetch")
+	}
+	if p.NextSeqForEvict(0x1000, 7) != 8 {
+		t.Fatal("SchemeNone must still increment counters")
+	}
+}
+
+func TestRegularGuessesRootRange(t *testing.T) {
+	p := newPred(SchemeRegular)
+	root := p.Root(0x4000)
+	g := p.Predict(0x4000)
+	if len(g) != p.Config().Depth+1 {
+		t.Fatalf("got %d guesses, want %d", len(g), p.Config().Depth+1)
+	}
+	for i := 0; i <= p.Config().Depth; i++ {
+		if g[i] != root+uint64(i) {
+			t.Fatalf("guess %d = %d, want root+%d", i, g[i], i)
+		}
+	}
+}
+
+func TestSameRootWithinPageDifferentAcrossPages(t *testing.T) {
+	p := newPred(SchemeRegular)
+	if p.Root(0x4000) != p.Root(0x4fe0) {
+		t.Fatal("lines of the same page got different roots")
+	}
+	if p.Root(0x4000) == p.Root(0x5000) {
+		t.Fatal("different pages share a root (collision with deterministic seed)")
+	}
+}
+
+func TestPredictHitOnFreshLine(t *testing.T) {
+	// A never-written line keeps its initial counter = root, which the
+	// regular predictor always covers.
+	p := newPred(SchemeRegular)
+	root := p.Root(0x8000)
+	if !contains(p.Predict(0x8000), root) {
+		t.Fatal("fresh line's counter not predicted")
+	}
+}
+
+func TestPredictHitAfterFewUpdates(t *testing.T) {
+	p := newPred(SchemeRegular)
+	addr := uint64(0x8000)
+	seq := p.Root(addr)
+	for i := 0; i < p.Config().Depth; i++ {
+		seq = p.NextSeqForEvict(addr, seq)
+	}
+	if !contains(p.Predict(addr), seq) {
+		t.Fatalf("counter after %d updates not predicted", p.Config().Depth)
+	}
+	seq = p.NextSeqForEvict(addr, seq) // one beyond the depth
+	if contains(p.Predict(addr), seq) {
+		t.Fatal("counter beyond prediction depth unexpectedly predicted")
+	}
+}
+
+func TestObserveStats(t *testing.T) {
+	p := newPred(SchemeRegular)
+	p.Predict(0x1000)
+	p.Observe(0x1000, p.Root(0x1000), true)
+	p.Observe(0x1000, 12345, false)
+	s := p.Stats()
+	if s.Fetches != 2 || s.Hits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v", s.HitRate())
+	}
+	if s.Guesses != uint64(p.Config().Depth+1) {
+		t.Fatalf("guesses = %d", s.Guesses)
+	}
+}
+
+func TestAdaptiveResetAfterSustainedMisses(t *testing.T) {
+	p := newPred(SchemeRegular)
+	addr := uint64(0x2000)
+	oldRoot := p.Root(addr)
+	// Fill the 16-bit PHV with misses; at threshold 12 the root resets.
+	for i := 0; i < p.Config().PHVBits; i++ {
+		p.Observe(addr, 999999, false)
+	}
+	if p.Stats().Resets == 0 {
+		t.Fatal("no reset after sustained misses")
+	}
+	if p.Root(addr) == oldRoot {
+		t.Fatal("root unchanged after reset")
+	}
+}
+
+func TestNoResetBeforePHVFull(t *testing.T) {
+	// The PHV must observe a full window before a reset can trigger —
+	// otherwise a few cold misses would thrash roots.
+	p := newPred(SchemeRegular)
+	addr := uint64(0x2000)
+	for i := 0; i < p.Config().ResetThreshold; i++ {
+		p.Observe(addr, 999999, false)
+	}
+	if p.Stats().Resets != 0 {
+		t.Fatal("reset before PHV window filled")
+	}
+}
+
+func TestNoResetWhenMostlyHitting(t *testing.T) {
+	p := newPred(SchemeRegular)
+	addr := uint64(0x3000)
+	for i := 0; i < 100; i++ {
+		p.Observe(addr, p.Root(addr), i%2 == 0) // 50% misses < 12/16
+	}
+	if p.Stats().Resets != 0 {
+		t.Fatalf("resets = %d with miss rate below threshold", p.Stats().Resets)
+	}
+	for i := 0; i < 100; i++ {
+		p.Observe(addr, p.Root(addr), i%8 != 0) // 12.5% misses
+	}
+	if p.Stats().Resets != 0 {
+		t.Fatal("reset while prediction healthy")
+	}
+}
+
+func TestNonAdaptiveNeverResets(t *testing.T) {
+	cfg := DefaultConfig(SchemeRegular)
+	cfg.Adaptive = false
+	p := New(cfg)
+	for i := 0; i < 200; i++ {
+		p.Observe(0x1000, 999999, false)
+	}
+	if p.Stats().Resets != 0 {
+		t.Fatal("non-adaptive predictor reset a root")
+	}
+}
+
+func TestRebaseAfterReset(t *testing.T) {
+	p := newPred(SchemeRegular)
+	addr := uint64(0x6000)
+	seq := p.NextSeqForEvict(addr, p.Root(addr)) // root+1, from current root
+	// Force a reset.
+	for i := 0; i < p.Config().PHVBits; i++ {
+		p.Observe(addr, 0xdeadbeef, false)
+	}
+	newRoot := p.Root(addr)
+	next := p.NextSeqForEvict(addr, seq)
+	if next != newRoot {
+		t.Fatalf("evict after reset gave %d, want re-base to new root %d", next, newRoot)
+	}
+	if p.Stats().Rebases != 1 {
+		t.Fatalf("rebases = %d, want 1", p.Stats().Rebases)
+	}
+	// And prediction covers the re-based line again.
+	if !contains(p.Predict(addr), next) {
+		t.Fatal("re-based counter not predicted")
+	}
+}
+
+func TestContextPredictionCoversLOR(t *testing.T) {
+	p := newPred(SchemeContext)
+	addr := uint64(0x9000)
+	root := p.Root(addr)
+	// Observe a fetch at offset 20 — far outside the regular depth.
+	p.Observe(addr, root+20, false)
+	g := p.Predict(addr)
+	for off := uint64(17); off <= 23; off++ { // swing 3 around LOR=20
+		if !contains(g, root+off) {
+			t.Fatalf("context guess missing offset %d: %v", off, g)
+		}
+	}
+	// Regular guesses still present.
+	if !contains(g, root) || !contains(g, root+5) {
+		t.Fatal("regular guesses missing from context prediction")
+	}
+	maxGuesses := (p.Config().Depth + 1) + (2*p.Config().Swing + 1)
+	if len(g) > maxGuesses {
+		t.Fatalf("%d guesses exceed max %d", len(g), maxGuesses)
+	}
+}
+
+func TestContextLORCrossesPages(t *testing.T) {
+	// The LOR is a single register: an offset learned on page A guides
+	// prediction on page B (spatial coherence of update counts).
+	p := newPred(SchemeContext)
+	a, b := uint64(0x10000), uint64(0x20000)
+	p.Observe(a, p.Root(a)+9, false)
+	if !contains(p.Predict(b), p.Root(b)+9) {
+		t.Fatal("LOR offset not applied across pages")
+	}
+}
+
+func TestContextGuessDedup(t *testing.T) {
+	p := newPred(SchemeContext)
+	addr := uint64(0xa000)
+	p.Observe(addr, p.Root(addr)+1, true) // LOR=1 overlaps regular range
+	g := p.Predict(addr)
+	seen := map[uint64]bool{}
+	for _, v := range g {
+		if seen[v] {
+			t.Fatalf("duplicate guess %d in %v", v, g)
+		}
+		seen[v] = true
+	}
+}
+
+func TestContextLORClampAtZero(t *testing.T) {
+	p := newPred(SchemeContext)
+	addr := uint64(0xb000)
+	root := p.Root(addr)
+	p.Observe(addr, root+1, true) // LOR=1 < swing → lower bound clamps to 0
+	g := p.Predict(addr)
+	for _, v := range g {
+		if v-root > uint64(p.Config().Depth) && v-root > uint64(1+p.Config().Swing) {
+			t.Fatalf("guess offset %d outside any window", v-root)
+		}
+	}
+}
+
+func TestTwoLevelExtendsReach(t *testing.T) {
+	p := newPred(SchemeTwoLevel)
+	addr := uint64(0xc000)
+	seq := p.Root(addr)
+	// Evict the line 23 times: offset 23 is in range index 3 ([18,23] with
+	// span 6). Regular prediction (depth 5) could never reach it.
+	for i := 0; i < 23; i++ {
+		seq = p.NextSeqForEvict(addr, seq)
+	}
+	if !contains(p.Predict(addr), seq) {
+		t.Fatalf("two-level failed to predict offset 23 (guesses %v, root %d)", p.Predict(addr), p.Root(addr))
+	}
+}
+
+func TestTwoLevelFallsBackWithoutEntry(t *testing.T) {
+	p := newPred(SchemeTwoLevel)
+	addr := uint64(0xd000)
+	g := p.Predict(addr) // page never evicted anything → no range entry
+	root := p.Root(addr)
+	if g[0] != root || len(g) != p.Config().Depth+1 {
+		t.Fatalf("fallback guesses = %v, want regular range at root", g)
+	}
+}
+
+func TestTwoLevelTableEviction(t *testing.T) {
+	cfg := DefaultConfig(SchemeTwoLevel)
+	cfg.RangeTableEntries = 2
+	p := New(cfg)
+	pageAddr := func(i int) uint64 { return uint64(i) * 4096 }
+	for i := 0; i < 3; i++ {
+		a := pageAddr(i)
+		seq := p.Root(a)
+		for j := 0; j < 8; j++ {
+			seq = p.NextSeqForEvict(a, seq)
+		}
+	}
+	if p.Stats().RangeEvictions == 0 {
+		t.Fatal("no range-table evictions with 3 pages in 2 entries")
+	}
+	// Range info is backed by the page's security context (Section 7.2
+	// stores 256 bits per page), but the on-chip table must be resident
+	// to steer speculation: the first access after displacement falls
+	// back to regular prediction while the entry refills, and the next
+	// access predicts the deep offset again.
+	a := pageAddr(0)
+	if contains(p.Predict(a), p.Root(a)+8) {
+		t.Fatal("displaced range entry used without a refill")
+	}
+	if !contains(p.Predict(a), p.Root(a)+8) {
+		t.Fatal("range info not recovered after refill")
+	}
+}
+
+func TestTwoLevelRangeClamped(t *testing.T) {
+	cfg := DefaultConfig(SchemeTwoLevel)
+	cfg.RangeBits = 2 // 4 ranges, matching Section 7.2's example
+	p := New(cfg)
+	addr := uint64(0xe000)
+	seq := p.Root(addr)
+	for i := 0; i < 40; i++ { // offset 40 ≫ 4 ranges × span 6
+		seq = p.NextSeqForEvict(addr, seq)
+	}
+	g := p.Predict(addr)
+	root := p.Root(addr)
+	// Clamped to the top range [18,23]; guesses start at 18.
+	if g[0] != root+18 {
+		t.Fatalf("clamped range starts at offset %d, want 18", g[0]-root)
+	}
+}
+
+func TestRootHistoryPredictsOldRoots(t *testing.T) {
+	cfg := DefaultConfig(SchemeRegular)
+	cfg.HistoryDepth = 1
+	p := New(cfg)
+	addr := uint64(0xf000)
+	oldRoot := p.Root(addr)
+	for i := 0; i < cfg.PHVBits; i++ {
+		p.Observe(addr, 0xabcdef, false)
+	}
+	if p.Root(addr) == oldRoot {
+		t.Fatal("expected reset")
+	}
+	g := p.Predict(addr)
+	if !contains(g, oldRoot) || !contains(g, oldRoot+uint64(cfg.Depth)) {
+		t.Fatal("old root range not predicted with history enabled")
+	}
+}
+
+func TestRootHistoryBounded(t *testing.T) {
+	cfg := DefaultConfig(SchemeRegular)
+	cfg.HistoryDepth = 2
+	p := New(cfg)
+	addr := uint64(0x11000)
+	for r := 0; r < 5; r++ {
+		for i := 0; i < cfg.PHVBits; i++ {
+			p.Observe(addr, 0xabcdef, false)
+		}
+	}
+	if p.Stats().Resets < 3 {
+		t.Fatalf("resets = %d, want several", p.Stats().Resets)
+	}
+	g := p.Predict(addr)
+	max := (cfg.Depth + 1) * (1 + cfg.HistoryDepth)
+	if len(g) > max {
+		t.Fatalf("%d guesses exceed bound %d with history depth 2", len(g), max)
+	}
+}
+
+func TestPHVClearedOnReset(t *testing.T) {
+	p := newPred(SchemeRegular)
+	addr := uint64(0x12000)
+	for i := 0; i < p.Config().PHVBits; i++ {
+		p.Observe(addr, 0xabc, false)
+	}
+	resets := p.Stats().Resets
+	if resets != 1 {
+		t.Fatalf("resets = %d, want 1", resets)
+	}
+	// One more miss must NOT immediately re-trigger (PHV was cleared).
+	p.Observe(addr, 0xabc, false)
+	if p.Stats().Resets != resets {
+		t.Fatal("reset re-triggered before PHV refilled")
+	}
+}
+
+func TestMonotoneCountersUnique(t *testing.T) {
+	// Property: the counter stream a line is assigned never repeats a
+	// value (one-time-pad safety), even across resets.
+	f := func(evictions uint8, resetAt uint8) bool {
+		p := newPred(SchemeRegular)
+		addr := uint64(0x13000)
+		seen := map[uint64]bool{}
+		seq := p.Root(addr)
+		seen[seq] = true
+		for i := 0; i < int(evictions%50)+2; i++ {
+			if i == int(resetAt%20) {
+				for j := 0; j < p.Config().PHVBits; j++ {
+					p.Observe(addr, 0xffffffffff, false)
+				}
+			}
+			seq = p.NextSeqForEvict(addr, seq)
+			if seen[seq] {
+				return false
+			}
+			seen[seq] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadConfigsPanic(t *testing.T) {
+	bad := []Config{
+		{Scheme: SchemeRegular, Depth: -1, PageSize: 4096, LineSize: 32, PHVBits: 16, ResetThreshold: 12},
+		{Scheme: SchemeRegular, Depth: 5, PageSize: 100, LineSize: 32, PHVBits: 16, ResetThreshold: 12},
+		{Scheme: SchemeRegular, Depth: 5, PageSize: 4096, LineSize: 32, PHVBits: 0, ResetThreshold: 12},
+		{Scheme: SchemeRegular, Depth: 5, PageSize: 4096, LineSize: 32, PHVBits: 16, ResetThreshold: 20},
+		{Scheme: SchemeTwoLevel, Depth: 5, PageSize: 4096, LineSize: 32, PHVBits: 16, ResetThreshold: 12, RangeTableEntries: 0},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad config %d did not panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	for s, want := range map[Scheme]string{
+		SchemeNone: "none", SchemeRegular: "regular",
+		SchemeTwoLevel: "two-level", SchemeContext: "context",
+		Scheme(42): "Scheme(42)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestPageCount(t *testing.T) {
+	p := newPred(SchemeRegular)
+	p.Root(0x0)
+	p.Root(0x1000)
+	p.Root(0x1040)
+	if p.PageCount() != 2 {
+		t.Fatalf("PageCount = %d, want 2", p.PageCount())
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	for _, tc := range []struct {
+		x uint32
+		n int
+	}{{0, 0}, {1, 1}, {0xffff, 16}, {0b1010, 2}} {
+		if got := popcount(tc.x); got != tc.n {
+			t.Errorf("popcount(%#x) = %d, want %d", tc.x, got, tc.n)
+		}
+	}
+}
+
+func BenchmarkPredictRegular(b *testing.B) {
+	p := newPred(SchemeRegular)
+	for i := 0; i < b.N; i++ {
+		p.Predict(uint64(i%1024) * 32)
+	}
+}
+
+func BenchmarkPredictContext(b *testing.B) {
+	p := newPred(SchemeContext)
+	p.Observe(0, p.Root(0)+9, false)
+	for i := 0; i < b.N; i++ {
+		p.Predict(uint64(i%1024) * 32)
+	}
+}

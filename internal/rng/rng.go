@@ -1,0 +1,180 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used throughout the simulator.
+//
+// Everything in ctrpred that needs randomness — per-page root sequence
+// numbers, workload data layouts, synthetic reference streams — draws from
+// this package so that a run is exactly reproducible from its seed. The
+// generators are NOT cryptographically secure; the paper's hardware random
+// number generator is a true RNG, but for simulation purposes determinism
+// is worth far more than entropy (and the security argument in the paper
+// does not rest on root secrecy).
+package rng
+
+// SplitMix64 is the splitmix64 generator of Steele, Lea and Flood. It is
+// primarily used to seed Xoshiro and to derive independent sub-streams.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next value in the sequence.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Xoshiro256 is the xoshiro256** generator of Blackman and Vigna.
+// The zero value is invalid; use New.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// New returns a Xoshiro256 seeded from seed via SplitMix64, as the
+// reference implementation recommends.
+func New(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256
+	for i := range x.s {
+		x.s[i] = sm.Next()
+	}
+	// Guard against the (astronomically unlikely) all-zero state.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &x
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (x *Xoshiro256) Uint64() uint64 {
+	result := rotl(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl(x.s[3], 45)
+	return result
+}
+
+// Uint32 returns a uniformly distributed 32-bit value.
+func (x *Xoshiro256) Uint32() uint32 { return uint32(x.Uint64() >> 32) }
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (x *Xoshiro256) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(x.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniformly distributed uint64 in [0, n). It panics if
+// n == 0.
+func (x *Xoshiro256) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	return x.Uint64() % n
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (x *Xoshiro256) Float64() float64 {
+	return float64(x.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (x *Xoshiro256) Bool(p float64) bool { return x.Float64() < p }
+
+// Geometric returns a sample from a geometric distribution with success
+// probability p (mean 1/p - 1 failures). Used for burst lengths in the
+// synthetic reference generators. p must be in (0, 1].
+func (x *Xoshiro256) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		panic("rng: Geometric called with p <= 0")
+	}
+	n := 0
+	for !x.Bool(p) {
+		n++
+		if n >= 1<<20 { // hard cap; keeps pathological p from hanging a sim
+			break
+		}
+	}
+	return n
+}
+
+// Zipf samples an integer in [0, n) with a Zipf-like distribution of
+// exponent s (s > 0) using inverse-CDF over a precomputed table is too
+// memory hungry for large n, so we use rejection-inversion is overkill;
+// instead we use the simple bounded power-law transform which is adequate
+// for shaping locality in synthetic workloads.
+func (x *Xoshiro256) Zipf(n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	// Inverse transform on a continuous power-law, clamped to [0, n).
+	u := x.Float64()
+	if u == 0 {
+		u = 1e-12
+	}
+	v := int(float64(n) * pow(u, s))
+	if v >= n {
+		v = n - 1
+	}
+	return v
+}
+
+// pow computes u**s for u in (0,1], s > 0 without importing math: the
+// simulator keeps floating-point dependencies minimal so results are
+// bit-stable across platforms. Uses exp/log via series would drift; a
+// simple repeated-squaring on the exponent's binary expansion with a
+// fixed-point fractional part is stable enough for workload shaping.
+func pow(u, s float64) float64 {
+	// Handle integer part by repeated multiplication.
+	r := 1.0
+	for s >= 1 {
+		r *= u
+		s--
+	}
+	if s <= 0 {
+		return r
+	}
+	// Fractional part via 24 steps of square-root bisection:
+	// u^s = product of u^(1/2^k) for set bits of s's binary fraction.
+	root := u
+	for i := 0; i < 24; i++ {
+		root = sqrt(root)
+		s *= 2
+		if s >= 1 {
+			r *= root
+			s--
+		}
+		if s == 0 {
+			break
+		}
+	}
+	return r
+}
+
+// sqrt is Newton's method; u in (0, 1].
+func sqrt(u float64) float64 {
+	if u <= 0 {
+		return 0
+	}
+	z := u
+	for i := 0; i < 32; i++ {
+		z = 0.5 * (z + u/z)
+	}
+	return z
+}

@@ -1,0 +1,183 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 0 from the canonical splitmix64.c.
+	s := NewSplitMix64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+		0xf88bb8a8724c81ec,
+		0x1b39896a51a8749b,
+	}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Fatalf("SplitMix64(0) value %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestXoshiroDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical values out of 1000", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	x := New(7)
+	for i := 0; i < 10000; i++ {
+		n := 1 + i%97
+		v := x.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn(%d) = %d out of range", n, v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	x := New(11)
+	for i := 0; i < 10000; i++ {
+		f := x.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Property(t *testing.T) {
+	f := func(seed uint64) bool {
+		x := New(seed)
+		for i := 0; i < 100; i++ {
+			v := x.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	x := New(3)
+	n := 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if x.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("Bool(0.25) frequency = %v, want ≈0.25", frac)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	x := New(5)
+	n := 50000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += x.Geometric(0.5)
+	}
+	mean := float64(sum) / float64(n)
+	if mean < 0.9 || mean > 1.1 { // mean of Geom(0.5) failures = 1
+		t.Fatalf("Geometric(0.5) mean = %v, want ≈1", mean)
+	}
+}
+
+func TestGeometricPEdge(t *testing.T) {
+	x := New(9)
+	if g := x.Geometric(1); g != 0 {
+		t.Fatalf("Geometric(1) = %d, want 0", g)
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	x := New(13)
+	for i := 0; i < 10000; i++ {
+		v := x.Zipf(1000, 2.0)
+		if v < 0 || v >= 1000 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+	}
+	if v := x.Zipf(1, 2.0); v != 0 {
+		t.Fatalf("Zipf(1) = %d, want 0", v)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// With exponent > 1, small indices should be much more common than a
+	// uniform draw would make them.
+	x := New(17)
+	n := 100000
+	low := 0
+	for i := 0; i < n; i++ {
+		if x.Zipf(1024, 3.0) < 128 {
+			low++
+		}
+	}
+	if frac := float64(low) / float64(n); frac < 0.4 {
+		t.Fatalf("Zipf(1024, 3) P(<128) = %v, want skewed (> 0.4)", frac)
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	for _, u := range []float64{0.25, 0.5, 1.0, 0.0625} {
+		got := sqrt(u)
+		if d := got*got - u; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("sqrt(%v) = %v, square differs by %v", u, got, d)
+		}
+	}
+	if sqrt(0) != 0 {
+		t.Fatal("sqrt(0) != 0")
+	}
+}
+
+func BenchmarkXoshiroUint64(b *testing.B) {
+	x := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += x.Uint64()
+	}
+	_ = sink
+}

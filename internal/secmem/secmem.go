@@ -1,0 +1,522 @@
+// Package secmem implements the secure memory controller: the boundary
+// between the protected processor domain and the untrusted encrypted RAM
+// (Figure 2). Every 32-byte block leaving the L2 is encrypted in counter
+// mode; every block entering it is decrypted. The controller owns
+//
+//   - the encrypted off-chip image and the per-block counter table,
+//   - the DRAM timing for line and counter fetches/writebacks,
+//   - the crypto-engine pipeline scheduling, and
+//   - the counter-availability mechanisms under study: nothing (baseline),
+//     a sequence-number cache, OTP prediction, the two combined, or an
+//     oracle that always knows the counter (Figure 4's three timelines).
+//
+// The controller is *functionally real*: it stores real AES-encrypted
+// bytes, fetches really decrypt them, and a self-check compares each
+// decryption against the architectural image in package mem. Prediction
+// can therefore never corrupt data — a mispredicted pad simply fails the
+// counter comparison and is discarded, exactly as in the hardware.
+package secmem
+
+import (
+	"fmt"
+
+	"ctrpred/internal/cryptoengine"
+	"ctrpred/internal/ctr"
+	"ctrpred/internal/dram"
+	"ctrpred/internal/integrity"
+	"ctrpred/internal/mem"
+	"ctrpred/internal/predictor"
+	"ctrpred/internal/seqcache"
+	"ctrpred/internal/stats"
+)
+
+// Config parameterizes the controller.
+type Config struct {
+	// SeqTableBase is the physical address of the counter table; it is
+	// placed far from data so the two compete for DRAM banks realistically
+	// but never overlap.
+	SeqTableBase uint64
+	// Oracle makes every counter available at request time (the paper's
+	// normalization baseline for IPC figures).
+	Oracle bool
+	// Direct replaces counter mode with direct (XEX) memory encryption —
+	// the prior-art organization the paper contrasts against: no counters
+	// anywhere, but decryption strictly serializes after the line fetch.
+	Direct bool
+	// SharedCounterChannel routes counter-table traffic over the data
+	// channel instead of the dedicated two-bank counter channel. The
+	// default (false) models counter storage with its own devices, the
+	// usual organization: interleaving 8-byte counter reads between line
+	// bursts on one channel thrashes open rows on every miss and
+	// penalizes every scheme that must fetch counters.
+	SharedCounterChannel bool
+	// CounterBanks sizes the dedicated counter channel (default 2).
+	CounterBanks int
+	// SelfCheck verifies every decryption against the architectural
+	// image and every encryption against pad-reuse (cheap; on by default
+	// in tests and examples).
+	SelfCheck bool
+}
+
+// DefaultConfig returns the standard controller configuration.
+func DefaultConfig() Config {
+	return Config{SeqTableBase: 1 << 40, SelfCheck: true}
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	Fetches        uint64 // lines fetched from encrypted RAM (L2 misses)
+	Evictions      uint64 // dirty lines written back
+	CounterBufHits uint64 // counter found in the 4-entry fetch buffer
+	TamperDetected uint64 // fetches failing integrity verification
+	PredHits       uint64 // fetches whose counter was predicted
+	SeqCacheHits   uint64 // fetches whose counter was in the seq cache
+	BothHits       uint64 // counter both predicted and cached
+	OracleHits     uint64 // fetches served by the oracle
+	SelfCheckFails uint64 // decryptions that did not match the image
+	// FetchLatency is the distribution of fetch completion latency in
+	// cycles (request to decrypted data).
+	FetchLatency *stats.Histogram
+	// DecryptExposed accumulates the cycles by which decryption completed
+	// *after* the line arrived from memory — the latency the paper's
+	// techniques try to drive to zero.
+	DecryptExposed uint64
+}
+
+// CounterCoverage returns the fraction of fetches whose counter was
+// available without waiting for DRAM (predicted, cached, or oracle).
+func (s *Stats) CounterCoverage() float64 {
+	return stats.Rate(s.PredHits+s.SeqCacheHits-s.BothHits+s.OracleHits, s.Fetches)
+}
+
+// FetchResult describes one line fetch, for tests and tracing.
+type FetchResult struct {
+	Done     uint64 // cycle at which decrypted data is available
+	LineDone uint64 // cycle at which ciphertext arrived from DRAM
+	SeqDone  uint64 // cycle at which the counter was available
+	PredHit  bool
+	SeqHit   bool
+	// Authentic is false when the integrity tree rejected the fetched
+	// (ciphertext, counter) pair — tampering or replay in untrusted RAM.
+	// Always true when no tree is attached.
+	Authentic bool
+	TrueSeq   uint64
+	Plain     ctr.Line
+}
+
+// Controller is the secure memory controller.
+type Controller struct {
+	cfg     Config
+	dram    *dram.DRAM
+	seqDRAM *dram.DRAM // counter-table channel (== dram when shared)
+	engine  *cryptoengine.Engine
+	pred    *predictor.Predictor
+	scache  *seqcache.Cache // nil when the design has no seq cache
+	image   *mem.Memory     // architectural plaintext
+
+	enc      map[uint64]ctr.Line // encrypted RAM, by line address
+	seq      map[uint64]uint64   // counter table, by line address
+	tree     *integrity.Tree     // optional hash-tree integrity protection
+	direct   *ctr.DirectCipher   // non-nil in direct mode
+	tampered map[uint64]bool     // lines the test adversary corrupted
+	tracker  ctr.PadTracker
+	stats    Stats
+
+	// seqBuf is the counter-line fetch buffer: counters are fetched at
+	// DRAM burst granularity (a 32-byte counter line covers four memory
+	// blocks), and the last few counter lines remain in the controller.
+	// This 128-byte buffer is part of the fetch pipeline in every
+	// configuration; without it, every miss would pay a separate 8-byte
+	// DRAM transaction for a counter its neighbor just fetched.
+	seqBuf     [4]uint64
+	seqBufAge  [4]uint64
+	seqBufTick uint64
+}
+
+// New wires a controller. pred must be non-nil (use predictor.SchemeNone
+// for designs without prediction — the predictor still owns per-page roots
+// and counter assignment). sc may be nil.
+func New(cfg Config, d *dram.DRAM, e *cryptoengine.Engine, pred *predictor.Predictor, sc *seqcache.Cache, image *mem.Memory) *Controller {
+	if pred == nil {
+		panic("secmem: predictor must not be nil")
+	}
+	if cfg.SeqTableBase == 0 {
+		cfg.SeqTableBase = 1 << 40
+	}
+	seqD := d
+	if !cfg.SharedCounterChannel && d != nil {
+		banks := cfg.CounterBanks
+		if banks == 0 {
+			banks = 2
+		}
+		scfg := d.Config()
+		scfg.Banks = banks
+		scfg.PartitionAddr = 0
+		seqD = dram.New(scfg)
+	}
+	var direct *ctr.DirectCipher
+	if cfg.Direct && e != nil {
+		direct = e.Keystream().DirectCipher()
+	}
+	return &Controller{
+		cfg:     cfg,
+		direct:  direct,
+		dram:    d,
+		seqDRAM: seqD,
+		engine:  e,
+		pred:    pred,
+		scache:  sc,
+		image:   image,
+		enc:     make(map[uint64]ctr.Line),
+		seq:     make(map[uint64]uint64),
+		stats:   Stats{FetchLatency: stats.NewHistogram(100, 150, 200, 300, 500)},
+	}
+}
+
+// Stats returns the accumulated statistics (the histogram is shared).
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Predictor returns the counter predictor in use.
+func (c *Controller) Predictor() *predictor.Predictor { return c.pred }
+
+// SeqCache returns the sequence-number cache, or nil.
+func (c *Controller) SeqCache() *seqcache.Cache { return c.scache }
+
+// PadViolations reports one-time-pad reuse detected by the self-check.
+func (c *Controller) PadViolations() uint64 { return c.tracker.Violations }
+
+// AttachIntegrity enables hash-tree verification of every fetch and
+// update of every writeback. Must be called before any line is touched so
+// the tree covers the whole image.
+func (c *Controller) AttachIntegrity(t *integrity.Tree) {
+	if len(c.enc) != 0 {
+		panic("secmem: AttachIntegrity after lines were touched")
+	}
+	c.tree = t
+}
+
+// IntegrityTree returns the attached tree, or nil.
+func (c *Controller) IntegrityTree() *integrity.Tree { return c.tree }
+
+// TamperLine flips one ciphertext bit of the line containing vaddr in the
+// untrusted RAM — the adversary's move. Subsequent fetches of the line
+// must fail integrity verification (with a tree attached) and would
+// otherwise silently decrypt to garbage; the plaintext self-check is
+// suppressed for tampered lines so experiments can observe the effect.
+func (c *Controller) TamperLine(vaddr uint64, bit int) {
+	la := mem.LineAddr(vaddr)
+	c.materialize(la)
+	l := c.enc[la]
+	l[(bit/8)%ctr.LineSize] ^= 1 << (bit % 8)
+	c.enc[la] = l
+	if c.tampered == nil {
+		c.tampered = make(map[uint64]bool)
+	}
+	c.tampered[la] = true
+}
+
+func (c *Controller) seqAddr(lineAddr uint64) uint64 {
+	return c.cfg.SeqTableBase + lineAddr/ctr.LineSize*seqcache.SeqBytes
+}
+
+// fetchCounter returns the cycle at which the counter of la is available,
+// reading a full counter line from the counter channel unless the fetch
+// buffer already holds it.
+func (c *Controller) fetchCounter(now uint64, la uint64) uint64 {
+	lineAddr := c.seqAddr(la) &^ uint64(ctr.LineSize-1)
+	c.seqBufTick++
+	victim := 0
+	for i, a := range c.seqBuf {
+		if a == lineAddr && c.seqBufAge[i] != 0 {
+			c.seqBufAge[i] = c.seqBufTick
+			c.stats.CounterBufHits++
+			return now
+		}
+		if c.seqBufAge[i] < c.seqBufAge[victim] {
+			victim = i
+		}
+	}
+	done := c.seqDRAM.Access(now, lineAddr, ctr.LineSize, false)
+	c.seqBuf[victim] = lineAddr
+	c.seqBufAge[victim] = c.seqBufTick
+	return done
+}
+
+// materialize lazily creates the encrypted copy of a line the first time
+// the off-chip image is touched, modeling the loader writing the program
+// image through the crypto engine with the page's initial (root) counter.
+func (c *Controller) materialize(la uint64) {
+	if _, ok := c.enc[la]; ok {
+		return
+	}
+	if c.direct != nil {
+		c.enc[la] = c.direct.EncryptLine(c.image.LineAt(la), la)
+		if c.tree != nil {
+			c.tree.Update(0, la, 0, c.enc[la])
+		}
+		return
+	}
+	root := c.pred.Root(la)
+	c.seq[la] = root
+	plain := c.image.LineAt(la)
+	c.enc[la] = c.engine.Keystream().EncryptLine(plain, la, root)
+	if c.cfg.SelfCheck {
+		c.tracker.RecordEncrypt(la, root)
+	}
+	if c.tree != nil {
+		c.tree.Update(0, la, root, c.enc[la]) // image load: untimed
+	}
+}
+
+// AgeLine initializes the counter of the line containing vaddr to
+// root+offset, modeling update history accumulated before the measured
+// window (the paper's multi-billion-instruction fast-forward "updates the
+// profiled memory status"). It must be called before the line is first
+// fetched or evicted; calls after the line has been touched are ignored.
+func (c *Controller) AgeLine(vaddr uint64, offset uint64) {
+	la := mem.LineAddr(vaddr)
+	if _, touched := c.enc[la]; touched {
+		return
+	}
+	seq := c.pred.Root(la) + offset
+	c.seq[la] = seq
+	c.enc[la] = c.engine.Keystream().EncryptLine(c.image.LineAt(la), la, seq)
+	if c.cfg.SelfCheck {
+		c.tracker.RecordEncrypt(la, seq)
+	}
+	if c.tree != nil {
+		c.tree.Update(0, la, seq, c.enc[la])
+	}
+}
+
+// FetchLine services an L2 miss for the line containing vaddr, starting
+// at cycle now. It returns the decrypted line and full timing detail.
+func (c *Controller) FetchLine(now uint64, vaddr uint64) FetchResult {
+	la := mem.LineAddr(vaddr)
+	c.materialize(la)
+	c.stats.Fetches++
+	if c.direct != nil {
+		return c.fetchDirect(now, la)
+	}
+
+	trueSeq := c.seq[la]
+	res := FetchResult{TrueSeq: trueSeq}
+
+	// Counter availability. The counter fetch is issued ahead of the line
+	// fetch (it is on the pad critical path); both stream over the same
+	// DRAM channel.
+	seqInCache := false
+	if c.scache != nil {
+		seqInCache = c.scache.Access(la)
+	}
+	switch {
+	case c.cfg.Oracle:
+		res.SeqDone = now
+		c.stats.OracleHits++
+	case seqInCache:
+		res.SeqDone = now
+		res.SeqHit = true
+		c.stats.SeqCacheHits++
+	default:
+		res.SeqDone = c.fetchCounter(now, la)
+	}
+	res.LineDone = c.dram.Access(now, la, ctr.LineSize, false)
+
+	// Pad generation (Figure 4). Prediction only engages when the counter
+	// is not already on chip; membership is still evaluated for the
+	// Figure 9 overlap accounting.
+	var pad ctr.Pad
+	var padReady uint64
+	predicted := false
+	if !c.cfg.Oracle {
+		if guesses := c.pred.Predict(la); len(guesses) > 0 {
+			if res.SeqHit {
+				// Counter already known: no speculative pads are issued,
+				// but record whether prediction would have covered it.
+				for _, g := range guesses {
+					if g == trueSeq {
+						predicted = true
+						break
+					}
+				}
+			} else {
+				for _, g := range guesses {
+					// Every guess occupies a pipeline slot; only the
+					// matching pad's bits are materialized (a discarded
+					// pad's value is unobservable, its timing is not).
+					if g == trueSeq && !predicted {
+						predicted = true
+						pad, padReady = c.engine.Compute(now, la, g, cryptoengine.ClassPrediction)
+					} else {
+						c.engine.ScheduleOnly(now, cryptoengine.ClassPrediction)
+					}
+				}
+			}
+			c.pred.Observe(la, trueSeq, predicted)
+		}
+	}
+	if predicted {
+		c.stats.PredHits++
+		if res.SeqHit {
+			c.stats.BothHits++
+		}
+		res.PredHit = true
+		// A speculative pad is confirmed only when the true counter is
+		// available for comparison.
+		if padReady < res.SeqDone {
+			padReady = res.SeqDone
+		}
+		if res.SeqHit {
+			// Counter was on chip; the demand path below would also have
+			// been taken in hardware. Use the demand pad timing instead.
+			predicted = false
+		}
+	}
+	if !predicted || res.SeqHit {
+		pad, padReady = c.engine.Compute(res.SeqDone, la, trueSeq, cryptoengine.ClassDemand)
+	}
+
+	// Decrypt once both ciphertext and pad are in hand (+1 cycle XOR).
+	res.Done = maxU64(res.LineDone, padReady) + 1
+	encLine := c.enc[la]
+	ctr.XORLine(&res.Plain, &encLine, &pad)
+
+	// Integrity verification proceeds from ciphertext arrival, in
+	// parallel with pad generation; data is architecturally usable only
+	// once both decryption and verification complete.
+	res.Authentic = true
+	if c.tree != nil {
+		ok, vDone := c.tree.Verify(res.LineDone, la, trueSeq, encLine)
+		res.Authentic = ok
+		if vDone+1 > res.Done {
+			res.Done = vDone + 1
+		}
+		if !ok {
+			c.stats.TamperDetected++
+		}
+	}
+
+	if c.cfg.SelfCheck && res.Authentic && !c.tampered[la] {
+		if want := c.image.LineAt(la); res.Plain != want {
+			c.stats.SelfCheckFails++
+			panic(fmt.Sprintf("secmem: decryption mismatch at %#x (seq %d)", la, trueSeq))
+		}
+	}
+
+	c.stats.FetchLatency.Observe(res.Done - now)
+	if res.Done > res.LineDone {
+		c.stats.DecryptExposed += res.Done - res.LineDone
+	}
+	return res
+}
+
+// fetchDirect services a miss under direct encryption: decryption can
+// only start once the whole ciphertext has arrived — the serialization
+// counter mode exists to break.
+func (c *Controller) fetchDirect(now uint64, la uint64) FetchResult {
+	res := FetchResult{Authentic: true}
+	res.LineDone = c.dram.Access(now, la, ctr.LineSize, false)
+	res.SeqDone = res.LineDone // no counters in this mode
+	ready := c.engine.ScheduleOnly(res.LineDone, cryptoengine.ClassDemand)
+	res.Done = ready + 1
+	encLine := c.enc[la]
+	res.Plain = c.direct.DecryptLine(encLine, la)
+	if c.tree != nil {
+		ok, vDone := c.tree.Verify(res.LineDone, la, 0, encLine)
+		res.Authentic = ok
+		if vDone+1 > res.Done {
+			res.Done = vDone + 1
+		}
+		if !ok {
+			c.stats.TamperDetected++
+		}
+	}
+	if c.cfg.SelfCheck && res.Authentic && !c.tampered[la] {
+		if want := c.image.LineAt(la); res.Plain != want {
+			c.stats.SelfCheckFails++
+			panic(fmt.Sprintf("secmem: direct decryption mismatch at %#x", la))
+		}
+	}
+	c.stats.FetchLatency.Observe(res.Done - now)
+	if res.Done > res.LineDone {
+		c.stats.DecryptExposed += res.Done - res.LineDone
+	}
+	return res
+}
+
+// EvictLine writes back the (dirty) line containing vaddr, re-encrypting
+// the current architectural contents under the line's next counter value.
+// It returns the cycle at which the writeback completes; writebacks are
+// buffered in hardware, so callers normally ignore it beyond statistics.
+func (c *Controller) EvictLine(now uint64, vaddr uint64) uint64 {
+	la := mem.LineAddr(vaddr)
+	c.materialize(la) // a store-allocated line may never have been fetched
+	c.stats.Evictions++
+	if c.direct != nil {
+		return c.evictDirect(now, la)
+	}
+
+	next := c.pred.NextSeqForEvict(la, c.seq[la])
+	c.seq[la] = next
+
+	pad, padReady := c.engine.Compute(now, la, next, cryptoengine.ClassWriteback)
+	plain := c.image.LineAt(la)
+	var encLine ctr.Line
+	ctr.XORLine(&encLine, &plain, &pad)
+	c.enc[la] = encLine
+	delete(c.tampered, la) // a legitimate writeback replaces corrupted data
+	if c.cfg.SelfCheck {
+		c.tracker.RecordEncrypt(la, next)
+	}
+	if c.tree != nil {
+		c.tree.Update(now, la, next, encLine)
+	}
+
+	// Counter writes are write-through; the cached copy (if any) is
+	// updated in place.
+	if c.scache != nil {
+		c.scache.Update(la)
+	}
+	// The evicted line sits in the write buffer while its pad is
+	// computed; its DRAM traffic is scheduled from the eviction time so
+	// buffered writebacks do not block younger demand fetches (the model
+	// serializes channel reservations in call order).
+	tLine := c.dram.Access(now, la, ctr.LineSize, true)
+	tSeq := c.seqDRAM.Access(now, c.seqAddr(la), seqcache.SeqBytes, true)
+	return maxU64(maxU64(tLine, tSeq), padReady)
+}
+
+// evictDirect writes back a line under direct encryption.
+func (c *Controller) evictDirect(now uint64, la uint64) uint64 {
+	ready := c.engine.ScheduleOnly(now, cryptoengine.ClassWriteback)
+	encLine := c.direct.EncryptLine(c.image.LineAt(la), la)
+	c.enc[la] = encLine
+	delete(c.tampered, la)
+	if c.tree != nil {
+		c.tree.Update(now, la, 0, encLine)
+	}
+	t := c.dram.Access(now, la, ctr.LineSize, true)
+	return maxU64(t, ready)
+}
+
+// Seq returns the current counter of the line containing vaddr (tests).
+func (c *Controller) Seq(vaddr uint64) uint64 {
+	la := mem.LineAddr(vaddr)
+	c.materialize(la)
+	return c.seq[la]
+}
+
+// EncryptedLine returns the off-chip ciphertext of the line containing
+// vaddr, as an adversary probing the RAM would see it (tests, examples).
+func (c *Controller) EncryptedLine(vaddr uint64) ctr.Line {
+	la := mem.LineAddr(vaddr)
+	c.materialize(la)
+	return c.enc[la]
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

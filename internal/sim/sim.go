@@ -1,0 +1,293 @@
+// Package sim wires a complete secure processor — out-of-order core,
+// cache/TLB hierarchy, DRAM, crypto engine, secure memory controller, and
+// one of the counter-availability schemes — around a workload, runs it,
+// and collects every statistic the paper's figures need.
+//
+// Two modes mirror the paper's methodology (Section 5.1): Performance
+// mode runs the detailed out-of-order model and reports IPC; HitRate mode
+// runs the fast functional model over longer windows and reports
+// prediction/seq-cache hit rates.
+package sim
+
+import (
+	"fmt"
+
+	"ctrpred/internal/cache"
+	"ctrpred/internal/cpu"
+	"ctrpred/internal/cryptoengine"
+	"ctrpred/internal/ctr"
+	"ctrpred/internal/dram"
+	"ctrpred/internal/integrity"
+	"ctrpred/internal/mem"
+	"ctrpred/internal/memsys"
+	"ctrpred/internal/predictor"
+	"ctrpred/internal/rng"
+	"ctrpred/internal/secmem"
+	"ctrpred/internal/seqcache"
+	"ctrpred/internal/workload"
+)
+
+// Mode selects the simulation fidelity.
+type Mode int
+
+const (
+	// Performance runs the out-of-order timing model (IPC figures).
+	Performance Mode = iota
+	// HitRate runs the fast functional model (prediction-rate figures).
+	HitRate
+)
+
+func (m Mode) String() string {
+	if m == HitRate {
+		return "hitrate"
+	}
+	return "performance"
+}
+
+// Scheme describes the counter-availability mechanism under test.
+type Scheme struct {
+	// Name is the label used in experiment output.
+	Name string
+	// SeqCacheBytes > 0 adds a sequence-number cache of that size.
+	SeqCacheBytes int
+	// Pred selects the prediction scheme (predictor.SchemeNone disables).
+	Pred predictor.Scheme
+	// PredConfig optionally overrides the full predictor configuration;
+	// when nil, predictor.DefaultConfig(Pred) is used.
+	PredConfig *predictor.Config
+	// Oracle makes every counter available instantly.
+	Oracle bool
+	// Direct uses direct (XEX) memory encryption instead of counter mode.
+	Direct bool
+}
+
+// Canonical schemes used across the experiments.
+func SchemeBaseline() Scheme { return Scheme{Name: "baseline"} }
+func SchemeOracle() Scheme   { return Scheme{Name: "oracle", Oracle: true} }
+func SchemeDirect() Scheme   { return Scheme{Name: "direct", Direct: true} }
+func SchemeSeqCache(bytes int) Scheme {
+	return Scheme{Name: fmt.Sprintf("seqcache-%dK", bytes>>10), SeqCacheBytes: bytes}
+}
+func SchemePred(p predictor.Scheme) Scheme {
+	return Scheme{Name: "pred-" + p.String(), Pred: p}
+}
+func SchemeCombined(bytes int, p predictor.Scheme) Scheme {
+	return Scheme{
+		Name:          fmt.Sprintf("seqcache-%dK+pred-%s", bytes>>10, p),
+		SeqCacheBytes: bytes,
+		Pred:          p,
+	}
+}
+
+// Config is a full machine + run configuration.
+type Config struct {
+	CPU    cpu.Config
+	Mem    memsys.Config
+	DRAM   dram.Config
+	Engine cryptoengine.Config
+	Scheme Scheme
+	Scale  workload.Scale
+	Mode   Mode
+	// Seed drives workload layout, key material and predictor roots.
+	Seed uint64
+	// SelfCheck verifies decryptions and pad uniqueness while running.
+	SelfCheck bool
+	// Integrity attaches the hash-tree memory authentication the paper
+	// assumes alongside encryption (Section 2.2): every fetch verifies,
+	// every writeback updates the tree.
+	Integrity bool
+}
+
+// DefaultConfig returns the Table 1 machine with the given scheme, the
+// 256 KB L2, performance mode, and the default workload scale.
+func DefaultConfig(s Scheme) Config {
+	return Config{
+		CPU:       cpu.DefaultConfig(),
+		Mem:       memsys.DefaultConfig(),
+		DRAM:      dram.DefaultConfig(),
+		Engine:    cryptoengine.DefaultConfig(),
+		Scheme:    s,
+		Scale:     workload.DefaultScale(),
+		Mode:      Performance,
+		Seed:      1,
+		SelfCheck: true,
+	}
+}
+
+// WithL2 returns the config with the L2 size (and latency) adjusted.
+func (c Config) WithL2(size int) Config {
+	c.Mem = c.Mem.WithL2(size)
+	return c
+}
+
+// WithMode returns the config in the given mode. HitRate mode scales the
+// dirty-flush interval to instruction counting (one instruction ≈ one
+// cycle there).
+func (c Config) WithMode(m Mode) Config {
+	c.Mode = m
+	return c
+}
+
+// WithIntegrity returns the config with hash-tree protection enabled.
+func (c Config) WithIntegrity() Config {
+	c.Integrity = true
+	return c
+}
+
+// Result carries everything a run produced.
+type Result struct {
+	Benchmark string
+	Scheme    string
+	Mode      Mode
+
+	CPU       cpu.Stats
+	Ctrl      secmem.Stats
+	Pred      predictor.Stats
+	Engine    cryptoengine.Stats
+	DRAM      dram.Stats
+	Hierarchy memsys.Stats
+	L1D, L2   cache.Stats
+	SeqCache  *cache.Stats     // nil when the scheme has none
+	Integrity *integrity.Stats // nil when the tree is disabled
+
+	// PadViolations counts one-time-pad reuse (must be 0).
+	PadViolations uint64
+}
+
+// IPC returns instructions per cycle (performance mode).
+func (r Result) IPC() float64 { return r.CPU.IPC() }
+
+// PredRate returns the sequence-number prediction rate.
+func (r Result) PredRate() float64 { return r.Pred.HitRate() }
+
+// SeqHitRate returns the sequence-number cache hit rate over fetches.
+func (r Result) SeqHitRate() float64 {
+	if r.Ctrl.Fetches == 0 {
+		return 0
+	}
+	return float64(r.Ctrl.SeqCacheHits) / float64(r.Ctrl.Fetches)
+}
+
+// Machine is an assembled simulator instance. Most callers use Run; the
+// examples use Machine directly to poke at components.
+type Machine struct {
+	Config Config
+	Image  *mem.Memory
+	Core   *cpu.Core
+	Sys    *memsys.System
+	Ctrl   *secmem.Controller
+	Pred   *predictor.Predictor
+	SCache *seqcache.Cache
+	Engine *cryptoengine.Engine
+	DRAM   *dram.DRAM
+}
+
+// NewMachine builds the machine and loads the named workload.
+func NewMachine(bench string, cfg Config) (*Machine, error) {
+	image := mem.New()
+	wl, err := workload.Build(bench, cfg.Scale, image, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	var key [32]byte
+	kr := cfg.Seed*0x9e3779b97f4a7c15 + 0x1234
+	for i := 0; i < 32; i += 8 {
+		kr ^= kr << 13
+		kr ^= kr >> 7
+		kr ^= kr << 17
+		for j := 0; j < 8; j++ {
+			key[i+j] = byte(kr >> (8 * j))
+		}
+	}
+
+	d := dram.New(cfg.DRAM)
+	engine := cryptoengine.New(cfg.Engine, ctr.NewKeystream(key))
+
+	pcfg := predictor.DefaultConfig(cfg.Scheme.Pred)
+	if cfg.Scheme.PredConfig != nil {
+		pcfg = *cfg.Scheme.PredConfig
+	}
+	pcfg.Seed = cfg.Seed ^ 0xabcdef
+	pred := predictor.New(pcfg)
+
+	var sc *seqcache.Cache
+	if cfg.Scheme.SeqCacheBytes > 0 {
+		sc = seqcache.New(cfg.Scheme.SeqCacheBytes)
+	}
+
+	scfg := secmem.DefaultConfig()
+	scfg.Oracle = cfg.Scheme.Oracle
+	scfg.Direct = cfg.Scheme.Direct
+	scfg.SelfCheck = cfg.SelfCheck
+	ctrl := secmem.New(scfg, d, engine, pred, sc, image)
+	if cfg.Integrity {
+		ctrl.AttachIntegrity(integrity.New(integrity.DefaultConfig(), d))
+	}
+
+	// Apply the workload's counter-aging profile: the update history a
+	// long fast-forward would have left in each write region, including
+	// warm two-level range state (the paper simulates the prediction
+	// mechanism during fast-forward). Direct mode has no counters to age.
+	if !cfg.Scheme.Direct {
+		ager := rng.New(cfg.Seed ^ 0xa6e0a6e)
+		for _, span := range wl.Ages {
+			span.SampleAges(ager, func(lineAddr, offset uint64) {
+				ctrl.AgeLine(lineAddr, offset)
+				pred.WarmRange(lineAddr, offset)
+			})
+		}
+	}
+
+	sys := memsys.New(cfg.Mem, ctrl)
+	core := cpu.New(cfg.CPU, wl.Prog, image, sys)
+
+	return &Machine{
+		Config: cfg, Image: image, Core: core, Sys: sys, Ctrl: ctrl,
+		Pred: pred, SCache: sc, Engine: engine, DRAM: d,
+	}, nil
+}
+
+// Run executes the machine to the configured instruction budget and
+// collects the result.
+func (m *Machine) Run(bench string) Result {
+	var cs cpu.Stats
+	if m.Config.Mode == HitRate {
+		cs = m.Core.RunFunctional(m.Config.Scale.Instructions)
+	} else {
+		cs = m.Core.Run(m.Config.Scale.Instructions)
+	}
+	_, l1d, l2 := m.Sys.Caches()
+	res := Result{
+		Benchmark:     bench,
+		Scheme:        m.Config.Scheme.Name,
+		Mode:          m.Config.Mode,
+		CPU:           cs,
+		Ctrl:          m.Ctrl.Stats(),
+		Pred:          m.Pred.Stats(),
+		Engine:        m.Engine.Stats(),
+		DRAM:          m.DRAM.Stats(),
+		Hierarchy:     m.Sys.Stats(),
+		L1D:           l1d.Stats(),
+		L2:            l2.Stats(),
+		PadViolations: m.Ctrl.PadViolations(),
+	}
+	if m.SCache != nil {
+		s := m.SCache.Stats()
+		res.SeqCache = &s
+	}
+	if tree := m.Ctrl.IntegrityTree(); tree != nil {
+		s := tree.Stats()
+		res.Integrity = &s
+	}
+	return res
+}
+
+// Run builds and runs the named benchmark under cfg.
+func Run(bench string, cfg Config) (Result, error) {
+	m, err := NewMachine(bench, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.Run(bench), nil
+}

@@ -1,0 +1,261 @@
+// Package stats provides the counters, rate helpers, histograms and
+// fixed-width table rendering used by the simulator to report experiment
+// results in the same shape as the paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter is a named monotonically increasing event count.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.Value += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Value++ }
+
+// Rate returns num/den as a float64, or 0 when den is zero. It is the
+// single definition of "rate" used across every experiment so that hit
+// rates, prediction rates and IPC ratios are all computed identically.
+func Rate(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Percent formats Rate(num, den) as a percentage with one decimal.
+func Percent(num, den uint64) string {
+	return fmt.Sprintf("%.1f%%", 100*Rate(num, den))
+}
+
+// Histogram is a fixed-bucket histogram over non-negative integer samples.
+// The final bucket is open-ended.
+type Histogram struct {
+	Bounds []uint64 // bucket i holds samples in [Bounds[i-1]+1 … Bounds[i]]
+	Counts []uint64 // len(Counts) == len(Bounds)+1
+	Total  uint64
+	Sum    uint64
+	Max    uint64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+func NewHistogram(bounds ...uint64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		Bounds: append([]uint64(nil), bounds...),
+		Counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	i := sort.Search(len(h.Bounds), func(i int) bool { return v <= h.Bounds[i] })
+	h.Counts[i]++
+	h.Total++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the mean of all observed samples.
+func (h *Histogram) Mean() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Total)
+}
+
+// Quantile returns the smallest bucket upper bound such that at least
+// q (0..1) of the samples fall at or below it. For the open last bucket it
+// returns the observed max.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.Total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.Total))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			return h.Max
+		}
+	}
+	return h.Max
+}
+
+// String renders a compact single-line summary.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.2f max=%d [", h.Total, h.Mean(), h.Max)
+	for i, c := range h.Counts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if i < len(h.Bounds) {
+			fmt.Fprintf(&b, "≤%d:%d", h.Bounds[i], c)
+		} else {
+			fmt.Fprintf(&b, ">:%d", c)
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Table accumulates rows of figures keyed by a label column (benchmark
+// name) and renders them in aligned fixed-width text, matching how the
+// experiment harness prints paper figures.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers. The
+// first column is the row label.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells beyond len(Columns) are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddFloats appends a row with a label and float cells at the given
+// precision.
+func (t *Table) AddFloats(label string, prec int, vals ...float64) {
+	cells := make([]string, 0, len(vals)+1)
+	cells = append(cells, label)
+	for _, v := range vals {
+		cells = append(cells, fmt.Sprintf("%.*f", prec, v))
+	}
+	t.AddRow(cells...)
+}
+
+// NumRows reports how many rows have been added.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		width[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", width[i], c)
+			} else {
+				fmt.Fprintf(&b, "%*s", width[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range width {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// GeoMean returns the geometric mean of vals, skipping non-positive
+// entries (which would otherwise zero the product); it returns 0 if no
+// positive values exist. The paper's "Average" bars over normalized IPC
+// are reproduced with this.
+func GeoMean(vals []float64) float64 {
+	prod := 1.0
+	n := 0
+	for _, v := range vals {
+		if v > 0 {
+			prod *= v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return nthRoot(prod, n)
+}
+
+// Mean returns the arithmetic mean of vals (0 for empty input).
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// nthRoot computes x^(1/n) by Newton iteration; x > 0, n >= 1.
+func nthRoot(x float64, n int) float64 {
+	if n == 1 || x == 0 {
+		return x
+	}
+	z := x
+	if z > 1 {
+		z = 1 + (x-1)/float64(n) // decent starting point
+	}
+	for i := 0; i < 64; i++ {
+		// z^{n-1}
+		zn1 := 1.0
+		for j := 1; j < n; j++ {
+			zn1 *= z
+		}
+		// Newton update: z -= (z^n - x) / (n z^{n-1})
+		z -= (zn1*z - x) / (float64(n) * zn1)
+		if z <= 0 {
+			z = x / 2
+		}
+	}
+	return z
+}

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	c := Counter{Name: "hits"}
+	c.Inc()
+	c.Add(4)
+	if c.Value != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value)
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(1, 4); got != 0.25 {
+		t.Fatalf("Rate(1,4) = %v", got)
+	}
+	if got := Rate(3, 0); got != 0 {
+		t.Fatalf("Rate(3,0) = %v, want 0", got)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(82, 100); got != "82.0%" {
+		t.Fatalf("Percent = %q", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 5, 10)
+	for _, v := range []uint64{0, 1, 2, 5, 6, 10, 11, 100} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 2, 2} // ≤1, ≤5, ≤10, >10
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if h.Total != 8 || h.Max != 100 {
+		t.Fatalf("total=%d max=%d", h.Total, h.Max)
+	}
+}
+
+func TestHistogramMeanQuantile(t *testing.T) {
+	h := NewHistogram(10, 20, 30)
+	for i := uint64(1); i <= 30; i++ {
+		h.Observe(i)
+	}
+	if m := h.Mean(); m < 15.4 || m > 15.6 {
+		t.Fatalf("mean = %v, want 15.5", m)
+	}
+	if q := h.Quantile(0.5); q != 20 {
+		t.Fatalf("median bucket = %d, want 20", q)
+	}
+	if q := h.Quantile(1.0); q != 30 {
+		t.Fatalf("p100 bucket = %d, want 30", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(1)
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("descending bounds did not panic")
+		}
+	}()
+	NewHistogram(5, 5)
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(2)
+	h.Observe(1)
+	h.Observe(3)
+	s := h.String()
+	if !strings.Contains(s, "n=2") || !strings.Contains(s, "≤2:1") {
+		t.Fatalf("unexpected summary: %q", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Figure X", "bench", "a", "b")
+	tbl.AddFloats("mcf", 2, 0.5, 0.75)
+	tbl.AddRow("gzip", "1.00") // short row: missing cell renders empty
+	s := tbl.String()
+	if !strings.Contains(s, "Figure X") {
+		t.Fatalf("missing title: %q", s)
+	}
+	if !strings.Contains(s, "mcf") || !strings.Contains(s, "0.75") {
+		t.Fatalf("missing row data: %q", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), s)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tbl.NumRows())
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{2, 8})
+	if got < 3.999 || got > 4.001 {
+		t.Fatalf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) != 0")
+	}
+	// Non-positive entries are skipped, not zeroing.
+	got = GeoMean([]float64{0, 4})
+	if got < 3.999 || got > 4.001 {
+		t.Fatalf("GeoMean(0,4) = %v, want 4", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+}
+
+func TestGeoMeanBetweenMinMax(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x := 1 + float64(a%1000)
+		y := 1 + float64(b%1000)
+		g := GeoMean([]float64{x, y})
+		lo, hi := x, y
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return g >= lo-1e-6 && g <= hi+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+// Package trace provides a compact binary memory-reference trace format,
+// synthetic reference generators, and a replay driver for the memory
+// hierarchy. Traces decouple workload generation from simulation: the
+// tracegen tool emits a trace once, and predictor or cache studies replay
+// it under many configurations, the way trace-driven studies complement
+// the paper's execution-driven SimpleScalar runs.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"ctrpred/internal/memsys"
+	"ctrpred/internal/rng"
+)
+
+// Ref is one memory reference.
+type Ref struct {
+	Addr  uint64
+	Write bool
+}
+
+// magic identifies trace files; the byte after it is the format version.
+var magic = [4]byte{'C', 'T', 'R', 'T'}
+
+const version = 1
+
+// Writer streams refs to an io.Writer. Each record is one varint-free
+// fixed 8-byte word: address shifted left one bit, low bit = write. (Line
+// addresses are ≤ 2^48 in practice, so the shift never overflows.)
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+}
+
+// NewWriter writes the header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(version); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Append writes one reference.
+func (w *Writer) Append(r Ref) error {
+	if r.Addr >= 1<<63 {
+		return fmt.Errorf("trace: address %#x too large", r.Addr)
+	}
+	var buf [8]byte
+	v := r.Addr << 1
+	if r.Write {
+		v |= 1
+	}
+	binary.LittleEndian.PutUint64(buf[:], v)
+	if _, err := w.w.Write(buf[:]); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count reports how many references have been appended.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader iterates over a trace stream.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return nil, errors.New("trace: bad magic")
+	}
+	if hdr[4] != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", hdr[4])
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next reference, or io.EOF when the trace ends.
+func (r *Reader) Next() (Ref, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Ref{}, errors.New("trace: truncated record")
+		}
+		return Ref{}, err
+	}
+	v := binary.LittleEndian.Uint64(buf[:])
+	return Ref{Addr: v >> 1, Write: v&1 == 1}, nil
+}
+
+// Kind names a synthetic generator.
+type Kind string
+
+const (
+	// KindStream sweeps sequentially with a configurable write mix.
+	KindStream Kind = "stream"
+	// KindPointer jumps pseudo-randomly (pointer-chasing locality).
+	KindPointer Kind = "pointer"
+	// KindZipf concentrates references on hot lines, power-law style.
+	KindZipf Kind = "zipf"
+	// KindMixed interleaves the three above.
+	KindMixed Kind = "mixed"
+)
+
+// Kinds lists the synthetic generator names.
+func Kinds() []Kind { return []Kind{KindStream, KindPointer, KindZipf, KindMixed} }
+
+// Synthetic produces n references over a footprint of the given bytes,
+// starting at base, deterministically from seed.
+func Synthetic(kind Kind, n int, footprint int, base uint64, seed uint64) ([]Ref, error) {
+	if footprint < 64 || n < 0 {
+		return nil, fmt.Errorf("trace: degenerate synthetic parameters (n=%d footprint=%d)", n, footprint)
+	}
+	r := rng.New(seed)
+	lines := footprint / 32
+	refs := make([]Ref, 0, n)
+	addr := func(line int) uint64 { return base + uint64(line)*32 }
+	cursor := 0
+	for i := 0; i < n; i++ {
+		k := kind
+		if k == KindMixed {
+			switch r.Intn(3) {
+			case 0:
+				k = KindStream
+			case 1:
+				k = KindPointer
+			default:
+				k = KindZipf
+			}
+		}
+		switch k {
+		case KindStream:
+			refs = append(refs, Ref{Addr: addr(cursor), Write: r.Bool(0.3)})
+			cursor = (cursor + 1) % lines
+		case KindPointer:
+			refs = append(refs, Ref{Addr: addr(r.Intn(lines)), Write: r.Bool(0.05)})
+		case KindZipf:
+			refs = append(refs, Ref{Addr: addr(r.Zipf(lines, 2.0)), Write: r.Bool(0.5)})
+		default:
+			return nil, fmt.Errorf("trace: unknown kind %q", kind)
+		}
+	}
+	return refs, nil
+}
+
+// ReplayStats summarizes a replay.
+type ReplayStats struct {
+	Refs   uint64
+	Cycles uint64
+}
+
+// Replay drives the references through a memory hierarchy, one reference
+// per cycle (hit-rate fidelity, not IPC).
+func Replay(refs []Ref, sys *memsys.System) ReplayStats {
+	now := uint64(0)
+	for _, r := range refs {
+		now++
+		sys.Access(now, r.Addr, r.Write)
+	}
+	sys.DrainDirty(now)
+	return ReplayStats{Refs: uint64(len(refs)), Cycles: now}
+}
+
+// ReplayReader drives references from a Reader until EOF.
+func ReplayReader(r *Reader, sys *memsys.System) (ReplayStats, error) {
+	now := uint64(0)
+	var n uint64
+	for {
+		ref, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return ReplayStats{}, err
+		}
+		now++
+		n++
+		sys.Access(now, ref.Addr, ref.Write)
+	}
+	sys.DrainDirty(now)
+	return ReplayStats{Refs: n, Cycles: now}, nil
+}

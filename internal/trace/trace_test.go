@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"ctrpred/internal/cryptoengine"
+	"ctrpred/internal/ctr"
+	"ctrpred/internal/dram"
+	"ctrpred/internal/mem"
+	"ctrpred/internal/memsys"
+	"ctrpred/internal/predictor"
+	"ctrpred/internal/secmem"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := []Ref{
+		{Addr: 0x1000, Write: false},
+		{Addr: 0x2020, Write: true},
+		{Addr: 0, Write: true},
+	}
+	for _, r := range refs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range refs {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestWriterRejectsHugeAddr(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.Append(Ref{Addr: 1 << 63}); err == nil {
+		t.Fatal("oversized address accepted")
+	}
+}
+
+func TestReaderRejectsBadHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("JUNK0"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte{'C', 'T', 'R', 'T', 99})); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("CT"))); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Append(Ref{Addr: 64})
+	w.Flush()
+	data := buf.Bytes()[:buf.Len()-3] // chop mid-record
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("truncated record read successfully")
+	}
+}
+
+func TestSyntheticKinds(t *testing.T) {
+	for _, kind := range Kinds() {
+		refs, err := Synthetic(kind, 1000, 64<<10, 0x100000, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(refs) != 1000 {
+			t.Fatalf("%s: %d refs", kind, len(refs))
+		}
+		writes := 0
+		for _, r := range refs {
+			if r.Addr < 0x100000 || r.Addr >= 0x100000+64<<10 {
+				t.Fatalf("%s: ref %#x outside footprint", kind, r.Addr)
+			}
+			if r.Addr%32 != 0 {
+				t.Fatalf("%s: ref %#x not line aligned", kind, r.Addr)
+			}
+			if r.Write {
+				writes++
+			}
+		}
+		if writes == 0 || writes == len(refs) {
+			t.Fatalf("%s: degenerate write mix (%d writes)", kind, writes)
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a, _ := Synthetic(KindZipf, 500, 32<<10, 0, 9)
+	b, _ := Synthetic(KindZipf, 500, 32<<10, 0, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+}
+
+func TestSyntheticErrors(t *testing.T) {
+	if _, err := Synthetic(KindStream, 10, 1, 0, 1); err == nil {
+		t.Fatal("tiny footprint accepted")
+	}
+	if _, err := Synthetic(Kind("weird"), 10, 4096, 0, 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestZipfConcentratesHits(t *testing.T) {
+	// Zipf traffic should hit caches far more often than uniform pointer
+	// traffic over the same footprint.
+	hitRate := func(kind Kind) float64 {
+		sys := newTestSys(t)
+		refs, _ := Synthetic(kind, 20000, 1<<20, 0x100000, 11)
+		Replay(refs, sys)
+		_, l1d, _ := sys.Caches()
+		return l1d.Stats().HitRate()
+	}
+	if z, p := hitRate(KindZipf), hitRate(KindPointer); z <= p {
+		t.Fatalf("zipf hit rate %.3f not above pointer %.3f", z, p)
+	}
+}
+
+func newTestSys(t *testing.T) *memsys.System {
+	t.Helper()
+	var key [32]byte
+	image := mem.New()
+	d := dram.New(dram.DefaultConfig())
+	e := cryptoengine.New(cryptoengine.DefaultConfig(), ctr.NewKeystream(key))
+	p := predictor.New(predictor.DefaultConfig(predictor.SchemeRegular))
+	ctrl := secmem.New(secmem.DefaultConfig(), d, e, p, nil, image)
+	cfg := memsys.DefaultConfig()
+	cfg.L2Size = 32 << 10
+	cfg.FlushInterval = 0
+	return memsys.New(cfg, ctrl)
+}
+
+func TestReplayDrivesHierarchy(t *testing.T) {
+	sys := newTestSys(t)
+	refs, _ := Synthetic(KindStream, 5000, 256<<10, 0x100000, 3)
+	st := Replay(refs, sys)
+	if st.Refs != 5000 || st.Cycles != 5000 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if sys.Controller().Stats().Fetches == 0 {
+		t.Fatal("replay caused no memory fetches")
+	}
+	if sys.Controller().Stats().Evictions == 0 {
+		t.Fatal("replay caused no writebacks (stream writes should)")
+	}
+}
+
+func TestReplayReaderMatchesReplay(t *testing.T) {
+	refs, _ := Synthetic(KindMixed, 3000, 128<<10, 0x100000, 5)
+
+	sysA := newTestSys(t)
+	stA := Replay(refs, sysA)
+
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for _, r := range refs {
+		w.Append(r)
+	}
+	w.Flush()
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB := newTestSys(t)
+	stB, err := ReplayReader(rd, sysB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stA != stB {
+		t.Fatalf("replay stats differ: %+v vs %+v", stA, stB)
+	}
+	if sysA.Controller().Stats().Fetches != sysB.Controller().Stats().Fetches {
+		t.Fatal("fetch counts differ between direct and file replay")
+	}
+}

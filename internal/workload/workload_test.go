@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"testing"
+
+	"ctrpred/internal/isa"
+	"ctrpred/internal/mem"
+)
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 14 {
+		t.Fatalf("got %d benchmarks, want 14", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+	for _, n := range names {
+		if _, ok := Lookup(n); !ok {
+			t.Fatalf("Lookup(%q) failed", n)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, ok := Lookup("nonesuch"); ok {
+		t.Fatal("Lookup of unknown benchmark succeeded")
+	}
+	if _, err := Build("nonesuch", TestScale(), mem.New(), 1); err == nil {
+		t.Fatal("Build of unknown benchmark succeeded")
+	}
+}
+
+func TestBuildRejectsDegenerateScale(t *testing.T) {
+	if _, err := Build("mcf", Scale{Footprint: 100, Instructions: 10}, mem.New(), 1); err == nil {
+		t.Fatal("degenerate footprint accepted")
+	}
+	if _, err := Build("mcf", Scale{Footprint: 64 << 10}, mem.New(), 1); err == nil {
+		t.Fatal("zero instruction budget accepted")
+	}
+}
+
+func TestAllKernelsAssemble(t *testing.T) {
+	for _, name := range Names() {
+		img := mem.New()
+		wl, err := Build(name, TestScale(), img, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		prog := wl.Prog
+		if len(prog.Instrs) < 5 {
+			t.Fatalf("%s: implausibly small program (%d instrs)", name, len(prog.Instrs))
+		}
+		// The code image must be loaded into memory for encrypted I-fetch.
+		buf := make([]byte, isa.InstrBytes)
+		img.ReadBytes(prog.Base, buf)
+		if isa.Decode(buf) != prog.Instrs[0] {
+			t.Fatalf("%s: code image not loaded", name)
+		}
+	}
+}
+
+func TestDeterministicImages(t *testing.T) {
+	for _, name := range []string{"mcf", "vortex", "bzip2"} {
+		a, b := mem.New(), mem.New()
+		pa := MustBuild(name, TestScale(), a, 7).Prog
+		pb := MustBuild(name, TestScale(), b, 7).Prog
+		if len(pa.Instrs) != len(pb.Instrs) {
+			t.Fatalf("%s: nondeterministic program size", name)
+		}
+		for i := range pa.Instrs {
+			if pa.Instrs[i] != pb.Instrs[i] {
+				t.Fatalf("%s: instruction %d differs", name, i)
+			}
+		}
+		got := make([]byte, 4096)
+		want := make([]byte, 4096)
+		a.ReadBytes(DataBase, want)
+		b.ReadBytes(DataBase, got)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: data image differs at byte %d", name, i)
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDifferentImages(t *testing.T) {
+	a, b := mem.New(), mem.New()
+	MustBuild("mcf", TestScale(), a, 1)
+	MustBuild("mcf", TestScale(), b, 2)
+	bufA := make([]byte, 1024)
+	bufB := make([]byte, 1024)
+	a.ReadBytes(DataBase, bufA)
+	b.ReadBytes(DataBase, bufB)
+	same := 0
+	for i := range bufA {
+		if bufA[i] == bufB[i] {
+			same++
+		}
+	}
+	if same == len(bufA) {
+		t.Fatal("different seeds produced identical images")
+	}
+}
+
+func TestMcfImageIsCycle(t *testing.T) {
+	img := mem.New()
+	MustBuild("mcf", TestScale(), img, 3)
+	nodes := TestScale().Footprint / 32
+	// Follow next pointers: must visit every node exactly once and return.
+	cur := uint64(DataBase)
+	seen := make(map[uint64]bool, nodes)
+	for i := 0; i < nodes; i++ {
+		if seen[cur] {
+			t.Fatalf("cycle shorter than %d nodes (revisit at step %d)", nodes, i)
+		}
+		seen[cur] = true
+		cur = img.Load(cur, 8)
+		if cur < DataBase || cur >= DataBase+uint64(nodes*32) || cur%32 != 0 {
+			t.Fatalf("next pointer %#x out of arena", cur)
+		}
+	}
+	if cur != DataBase {
+		t.Fatal("pointer chain does not close into a cycle")
+	}
+}
+
+func TestVortexChainsWellFormed(t *testing.T) {
+	img := mem.New()
+	MustBuild("vortex", TestScale(), img, 4)
+	// Every bucket head is either 0 or points into the object arena, and
+	// chains terminate.
+	objects := TestScale().Footprint / 32
+	buckets := pow2AtMost(objects / 4)
+	for b := 0; b < buckets; b++ {
+		p := img.Load(DataBase+uint64(b)*8, 8)
+		steps := 0
+		for p != 0 {
+			if steps++; steps > objects {
+				t.Fatalf("bucket %d chain does not terminate", b)
+			}
+			p = img.Load(p, 8)
+		}
+	}
+}
+
+func TestSpecFlagsPlausible(t *testing.T) {
+	memBound, writeHeavy := 0, 0
+	for _, n := range Names() {
+		s, _ := Lookup(n)
+		if s.MemoryBound {
+			memBound++
+		}
+		if s.WriteHeavy {
+			writeHeavy++
+		}
+		if s.Description == "" {
+			t.Errorf("%s: empty description", n)
+		}
+	}
+	if memBound < 8 {
+		t.Errorf("only %d memory-bound benchmarks", memBound)
+	}
+	if writeHeavy < 5 {
+		t.Errorf("only %d write-heavy benchmarks", writeHeavy)
+	}
+}
+
+func TestPow2AtMost(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 2, 4: 4, 1000: 512, 1024: 1024}
+	for in, want := range cases {
+		if got := pow2AtMost(in); got != want {
+			t.Errorf("pow2AtMost(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestItersFloor(t *testing.T) {
+	if got := iters(Scale{Instructions: 10}, 1000); got != 1 {
+		t.Fatalf("iters floor = %d", got)
+	}
+	if got := iters(Scale{Instructions: 1000}, 10); got != 100 {
+		t.Fatalf("iters = %d", got)
+	}
+}
