@@ -1,0 +1,25 @@
+# Verification recipe. `make verify` is the tier-1 gate: build, vet,
+# the full test suite, and a race-detector pass over the concurrent
+# packages (the run scheduler and the sweeps routed through it).
+
+GO ?= go
+
+.PHONY: build vet test race verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The experiments race run is restricted to the tests that exercise the
+# worker pool; a full -race suite multiplies the 40 s experiment tests
+# several-fold for no extra concurrency coverage.
+race:
+	$(GO) test -race ./internal/runpool
+	$(GO) test -race ./internal/experiments -run 'Parallel|SweepProgress|SweepError'
+
+verify: build vet test race

@@ -6,6 +6,12 @@
 //	experiments -exp fig7,fig12         # a subset
 //	experiments -instr 2000000          # longer windows, tighter numbers
 //	experiments -bench mcf,gzip,swim    # a benchmark subset
+//	experiments -j 8                    # eight simulations in flight
+//
+// Each experiment's benchmark × scheme grid runs across -j workers
+// (default: one per CPU); results are assembled in input order, so the
+// output is byte-identical to -j 1 for the same seed. Per-simulation
+// progress lines go to stderr (suppress with -progress=false).
 //
 // Output is the same row/series layout the paper's figures plot, plus a
 // note recording the shape the paper reports.
@@ -23,16 +29,19 @@ import (
 
 func main() {
 	var (
-		exps  = flag.String("exp", "all", "comma-separated experiment ids (table1, fig4, fig7..fig16, ablation, ctxswitch, integrity, hybrid, seqsweep, valuepred) or 'all'")
-		instr = flag.Uint64("instr", 0, "per-run instruction budget (0 = default)")
-		foot  = flag.Int("footprint", 0, "workload footprint in bytes (0 = default)")
-		bench = flag.String("bench", "", "comma-separated benchmark subset (default: all 14)")
-		seed  = flag.Uint64("seed", 1, "random seed")
+		exps     = flag.String("exp", "all", "comma-separated experiment ids (table1, fig4, fig7..fig16, ablation, ctxswitch, integrity, hybrid, seqsweep, valuepred) or 'all'")
+		instr    = flag.Uint64("instr", 0, "per-run instruction budget (0 = default)")
+		foot     = flag.Int("footprint", 0, "workload footprint in bytes (0 = default)")
+		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all 14)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		jobs     = flag.Int("j", 0, "concurrent simulations per sweep (0 = one per CPU)")
+		progress = flag.Bool("progress", true, "print per-simulation progress/timing lines to stderr")
 	)
 	flag.Parse()
 
 	opt := ctrpred.DefaultOptions()
 	opt.Seed = *seed
+	opt.Workers = *jobs
 	if *instr != 0 {
 		opt.Scale.Instructions = *instr
 	}
@@ -40,20 +49,37 @@ func main() {
 		opt.Scale.Footprint = *foot
 	}
 	if *bench != "" {
-		opt.Benchmarks = strings.Split(*bench, ",")
+		benchmarks, err := splitValidated(*bench, ctrpred.Benchmarks(), "benchmark")
+		if err != nil {
+			fatal(err)
+		}
+		opt.Benchmarks = benchmarks
+	}
+	if *progress {
+		opt.Progress = func(u ctrpred.RunUpdate) {
+			status := "ok"
+			if u.Err != nil {
+				status = "FAIL: " + u.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s (%.2fs) %s\n",
+				u.Done, u.Total, u.Label, u.Elapsed.Seconds(), status)
+		}
 	}
 
 	ids := ctrpred.ExperimentIDs()
 	if *exps != "all" {
-		ids = strings.Split(*exps, ",")
+		var err error
+		ids, err = splitValidated(*exps, ctrpred.ExperimentIDs(), "experiment")
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	for _, id := range ids {
 		start := time.Now()
-		res, err := ctrpred.RunExperiment(strings.TrimSpace(id), opt)
+		res, err := ctrpred.RunExperiment(id, opt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(2)
+			fatal(err)
 		}
 		fmt.Println(res.Table)
 		if res.Notes != "" {
@@ -61,4 +87,34 @@ func main() {
 		}
 		fmt.Printf("(%s regenerated in %.1fs)\n\n", res.ID, time.Since(start).Seconds())
 	}
+}
+
+// splitValidated splits a comma-separated flag value, trims whitespace,
+// and rejects any entry not in the valid set — up front, with the valid
+// names in the error, instead of deep inside a run.
+func splitValidated(list string, valid []string, kind string) ([]string, error) {
+	ok := make(map[string]bool, len(valid))
+	for _, v := range valid {
+		ok[v] = true
+	}
+	var out []string
+	for _, raw := range strings.Split(list, ",") {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		if !ok[name] {
+			return nil, fmt.Errorf("unknown %s %q (valid: %s)", kind, name, strings.Join(valid, ", "))
+		}
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no %ss given", kind)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(2)
 }

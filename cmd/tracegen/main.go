@@ -95,7 +95,7 @@ func recordWorkload(tw *trace.Writer, bench string, footprint int, instructions,
 			sinkErr = tw.Append(trace.Ref{Addr: addr, Write: write})
 		}
 	})
-	m.Run(bench)
+	m.Run()
 	return sinkErr
 }
 

@@ -35,6 +35,7 @@ package ctrpred
 import (
 	"ctrpred/internal/experiments"
 	"ctrpred/internal/predictor"
+	"ctrpred/internal/runpool"
 	"ctrpred/internal/sim"
 	"ctrpred/internal/workload"
 )
@@ -59,10 +60,15 @@ type (
 	// Machine is an assembled simulator instance for direct component
 	// access (the examples use it).
 	Machine = sim.Machine
-	// ExperimentOptions scopes and scales a figure regeneration.
+	// ExperimentOptions scopes and scales a figure regeneration. Its
+	// Workers field caps concurrent simulations per sweep (0 = one per
+	// CPU); Progress receives one RunUpdate per finished simulation.
 	ExperimentOptions = experiments.Options
 	// ExperimentResult is one regenerated figure or table.
 	ExperimentResult = experiments.Result
+	// RunUpdate reports one finished simulation of a parallel sweep to
+	// the ExperimentOptions.Progress callback.
+	RunUpdate = runpool.Update
 )
 
 // Simulation modes.
@@ -142,7 +148,10 @@ func DefaultOptions() ExperimentOptions { return experiments.DefaultOptions() }
 // RunExperiment regenerates one of the paper's tables or figures by id
 // ("table1", "fig4", "fig7" … "fig16", "ablation"), or one of the
 // extension studies ("ctxswitch", "integrity", "hybrid", "seqsweep",
-// "valuepred").
+// "valuepred"). Each simulation of the figure's benchmark × scheme grid
+// is independent, so they run concurrently across opt.Workers workers;
+// results are assembled in input order, making the output byte-identical
+// for any worker count at a given seed.
 func RunExperiment(id string, opt ExperimentOptions) (ExperimentResult, error) {
 	return experiments.ByID(id, opt)
 }

@@ -77,7 +77,7 @@ func TestFacadeMachine(t *testing.T) {
 	if m.Core == nil || m.Ctrl == nil || m.Sys == nil {
 		t.Fatal("machine components missing")
 	}
-	res := m.Run("swim")
+	res := m.Run()
 	if res.CPU.Instructions == 0 {
 		t.Fatal("machine run executed nothing")
 	}

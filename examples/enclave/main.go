@@ -41,7 +41,7 @@ func main() {
 	fmt.Printf("secret ciphertext : %x...  (plaintext %#x)\n\n",
 		secretEnc[:16], uint64(0xdeadbeefcafef00d))
 
-	res := m.Run("gzip")
+	res := m.Run()
 
 	fmt.Printf("ran %d instructions; %d encrypted fetches, %d writebacks\n",
 		res.CPU.Instructions, res.Ctrl.Fetches, res.Ctrl.Evictions)

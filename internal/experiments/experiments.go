@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"ctrpred/internal/predictor"
+	"ctrpred/internal/runpool"
 	"ctrpred/internal/sim"
 	"ctrpred/internal/stats"
 	"ctrpred/internal/workload"
@@ -31,6 +32,13 @@ type Options struct {
 	Benchmarks []string
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers caps the number of concurrent simulations per sweep
+	// (<= 0: one per CPU). Results are assembled in input order, so the
+	// output is byte-identical for any worker count.
+	Workers int
+	// Progress, when non-nil, receives one update per finished
+	// simulation (serialized, in completion order).
+	Progress func(runpool.Update)
 }
 
 // DefaultOptions runs every benchmark at a budget that completes each
@@ -77,10 +85,18 @@ type Result struct {
 }
 
 // runner abstracts "run benchmark b under scheme s and return the value
-// this figure plots".
-type runner func(bench string, scheme sim.Scheme) (float64, error)
+// this figure plots". col is the scheme's column index, for figures
+// whose columns vary something besides the scheme (Figure 14's L2 size).
+type runner func(bench string, col int, scheme sim.Scheme) (float64, error)
 
-// sweep runs every benchmark × scheme pair and assembles the table.
+// pool adapts the experiment options to the run scheduler.
+func (o Options) pool() runpool.Options {
+	return runpool.Options{Workers: o.Workers, Progress: o.Progress}
+}
+
+// sweep runs every benchmark × scheme pair — in parallel across the
+// worker pool — and assembles the table in input order, so the result is
+// identical to a sequential sweep of the same seed.
 func sweep(id, title, notes string, opt Options, schemes []sim.Scheme, colNames []string, run runner) (Result, error) {
 	opt = opt.normalized()
 	res := Result{
@@ -96,19 +112,39 @@ func sweep(id, title, notes string, opt Options, schemes []sim.Scheme, colNames 
 	}
 	benchmarks := append([]string(nil), opt.Benchmarks...)
 	sort.Strings(benchmarks)
-	sums := make([]float64, len(schemes))
+
+	jobs := make([]runpool.Job[float64], 0, len(benchmarks)*len(schemes))
 	for _, bench := range benchmarks {
-		vals := make([]float64, len(schemes))
 		for i, sch := range schemes {
-			v, err := run(bench, sch)
-			if err != nil {
-				return Result{}, fmt.Errorf("%s: %s/%s: %w", id, bench, sch.Name, err)
-			}
-			vals[i] = v
+			jobs = append(jobs, runpool.Job[float64]{
+				Label: fmt.Sprintf("%s %s/%s", id, bench, sch.Name),
+				Fn: func() (float64, error) {
+					v, err := run(bench, i, sch)
+					if err != nil {
+						return 0, fmt.Errorf("%s: %s/%s: %w", id, bench, sch.Name, err)
+					}
+					return v, nil
+				},
+			})
+		}
+	}
+	vals, err := runpool.Run(opt.pool(), jobs)
+	if err != nil {
+		return Result{}, err
+	}
+
+	sums := make([]float64, len(schemes))
+	k := 0
+	for _, bench := range benchmarks {
+		row := make([]float64, len(schemes))
+		for i := range schemes {
+			v := vals[k]
+			k++
+			row[i] = v
 			sums[i] += v
 			res.Series[colNames[i]][bench] = v
 		}
-		res.Table.AddFloats(bench, 3, vals...)
+		res.Table.AddFloats(bench, 3, row...)
 	}
 	avgs := make([]float64, len(schemes))
 	for i := range schemes {
@@ -117,6 +153,34 @@ func sweep(id, title, notes string, opt Options, schemes []sim.Scheme, colNames 
 	}
 	res.Table.AddFloats("Average", 3, avgs...)
 	return res, nil
+}
+
+// oracleBaselines runs the oracle scheme for every benchmark across the
+// pool and returns benchmark → IPC, the denominator of the normalized-IPC
+// figures.
+func oracleBaselines(opt Options, l2 int) (map[string]float64, error) {
+	jobs := make([]runpool.Job[float64], len(opt.Benchmarks))
+	for i, bench := range opt.Benchmarks {
+		jobs[i] = runpool.Job[float64]{
+			Label: fmt.Sprintf("oracle baseline %s", bench),
+			Fn: func() (float64, error) {
+				r, err := sim.Run(bench, perfConfig(opt, sim.SchemeOracle(), l2))
+				if err != nil {
+					return 0, err
+				}
+				return r.IPC(), nil
+			},
+		}
+	}
+	vals, err := runpool.Run(opt.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	ipc := make(map[string]float64, len(vals))
+	for i, bench := range opt.Benchmarks {
+		ipc[bench] = vals[i]
+	}
+	return ipc, nil
 }
 
 // hitRateWindowFactor scales the instruction budget of hit-rate studies
@@ -159,7 +223,7 @@ func hitRateFigure(id string, l2 int, opt Options) (Result, error) {
 	cols := []string{"128K_Seq#_Cache", "512K_Seq#_Cache", "Pred"}
 	title := fmt.Sprintf("Sequence Number Hit Rates, %s L2", l2Name(l2))
 	notes := "Paper: Pred ≈ 0.82 average (0.80 at 1MB), above both 128KB and 512KB sequence-number caches."
-	return sweep(id, title, notes, opt, schemes, cols, func(bench string, sch sim.Scheme) (float64, error) {
+	return sweep(id, title, notes, opt, schemes, cols, func(bench string, _ int, sch sim.Scheme) (float64, error) {
 		res, err := sim.Run(bench, hitRateConfig(opt, sch, l2))
 		if err != nil {
 			return 0, err
@@ -191,20 +255,34 @@ func Figure9(opt Options) (Result, error) {
 	res.Table = stats.NewTable("Figure 9 — "+res.Title, "benchmark", "Pred_Hit", "Seq_Only", "Both_Hit")
 	benchmarks := append([]string(nil), opt.Benchmarks...)
 	sort.Strings(benchmarks)
+	jobs := make([]runpool.Job[[3]float64], len(benchmarks))
+	for i, bench := range benchmarks {
+		jobs[i] = runpool.Job[[3]float64]{
+			Label: fmt.Sprintf("Figure 9 %s", bench),
+			Fn: func() ([3]float64, error) {
+				cfg := hitRateConfig(opt, sim.SchemeCombined(32<<10, predictor.SchemeRegular), 256<<10)
+				r, err := sim.Run(bench, cfg)
+				if err != nil {
+					return [3]float64{}, err
+				}
+				fetches := float64(r.Ctrl.Fetches)
+				if fetches == 0 {
+					fetches = 1
+				}
+				both := float64(r.Ctrl.BothHits) / fetches
+				predOnly := float64(r.Ctrl.PredHits-r.Ctrl.BothHits) / fetches
+				seqOnly := float64(r.Ctrl.SeqCacheHits-r.Ctrl.BothHits) / fetches
+				return [3]float64{predOnly, seqOnly, both}, nil
+			},
+		}
+	}
+	vals, err := runpool.Run(opt.pool(), jobs)
+	if err != nil {
+		return Result{}, err
+	}
 	var sumP, sumS, sumB float64
-	for _, bench := range benchmarks {
-		cfg := hitRateConfig(opt, sim.SchemeCombined(32<<10, predictor.SchemeRegular), 256<<10)
-		r, err := sim.Run(bench, cfg)
-		if err != nil {
-			return Result{}, err
-		}
-		fetches := float64(r.Ctrl.Fetches)
-		if fetches == 0 {
-			fetches = 1
-		}
-		both := float64(r.Ctrl.BothHits) / fetches
-		predOnly := float64(r.Ctrl.PredHits-r.Ctrl.BothHits) / fetches
-		seqOnly := float64(r.Ctrl.SeqCacheHits-r.Ctrl.BothHits) / fetches
+	for i, bench := range benchmarks {
+		predOnly, seqOnly, both := vals[i][0], vals[i][1], vals[i][2]
 		res.Series["Pred_Hit"][bench] = predOnly
 		res.Series["Seq_Only"][bench] = seqOnly
 		res.Series["Both_Hit"][bench] = both
@@ -234,21 +312,16 @@ func ipcFigure(id string, l2 int, opt Options) (Result, error) {
 	cols := []string{"Seq_Cache_4K", "Seq_Cache_128K", "Seq_Cache_512K", "Pred"}
 	title := fmt.Sprintf("Normalized IPC (oracle=1.0), %s L2", l2Name(l2))
 	notes := "Paper: Pred outperforms every cache size on average; gains of 15–40% over small caches on memory-bound programs."
-	oracleIPC := make(map[string]float64)
-	return sweep(id, title, notes, opt, schemes, cols, func(bench string, sch sim.Scheme) (float64, error) {
-		base, ok := oracleIPC[bench]
-		if !ok {
-			r, err := sim.Run(bench, perfConfig(opt, sim.SchemeOracle(), l2))
-			if err != nil {
-				return 0, err
-			}
-			base = r.IPC()
-			oracleIPC[bench] = base
-		}
+	oracleIPC, err := oracleBaselines(opt, l2)
+	if err != nil {
+		return Result{}, err
+	}
+	return sweep(id, title, notes, opt, schemes, cols, func(bench string, _ int, sch sim.Scheme) (float64, error) {
 		r, err := sim.Run(bench, perfConfig(opt, sch, l2))
 		if err != nil {
 			return 0, err
 		}
+		base := oracleIPC[bench]
 		if base == 0 {
 			return 0, nil
 		}
@@ -273,7 +346,7 @@ func optHitRateFigure(id string, l2 int, opt Options) (Result, error) {
 	cols := []string{"Regular", "Two-level", "Context"}
 	title := fmt.Sprintf("Prediction Rate of Two-level and Context-based vs Regular, %s L2", l2Name(l2))
 	notes := "Paper: regular ≈ 0.82, two-level ≈ 0.96, context ≈ 0.99 (256KB L2)."
-	return sweep(id, title, notes, opt, schemes, cols, func(bench string, sch sim.Scheme) (float64, error) {
+	return sweep(id, title, notes, opt, schemes, cols, func(bench string, _ int, sch sim.Scheme) (float64, error) {
 		res, err := sim.Run(bench, hitRateConfig(opt, sch, l2))
 		if err != nil {
 			return 0, err
@@ -299,10 +372,8 @@ func Figure14(opt Options) (Result, error) {
 	l2s := []int{256 << 10, 1 << 20}
 	title := "Number of Predictions under 256KB vs 1MB L2 (context-based)"
 	notes := "Paper: larger L2 ⇒ fewer misses ⇒ far fewer predictions."
-	i := -1
-	return sweep("Figure 14", title, notes, opt, schemes, cols, func(bench string, sch sim.Scheme) (float64, error) {
-		i++
-		res, err := sim.Run(bench, hitRateConfig(opt, sch, l2s[i%2]))
+	return sweep("Figure 14", title, notes, opt, schemes, cols, func(bench string, col int, sch sim.Scheme) (float64, error) {
+		res, err := sim.Run(bench, hitRateConfig(opt, sch, l2s[col]))
 		if err != nil {
 			return 0, err
 		}
@@ -322,21 +393,16 @@ func optIPCFigure(id string, l2 int, opt Options) (Result, error) {
 	cols := []string{"Regular", "Two-level", "Context"}
 	title := fmt.Sprintf("Normalized IPC of Two-level and Context-based vs Regular, %s L2", l2Name(l2))
 	notes := "Paper: up to ~7% additional IPC over regular prediction; context ≥ two-level for most programs."
-	oracleIPC := make(map[string]float64)
-	return sweep(id, title, notes, opt, schemes, cols, func(bench string, sch sim.Scheme) (float64, error) {
-		base, ok := oracleIPC[bench]
-		if !ok {
-			r, err := sim.Run(bench, perfConfig(opt, sim.SchemeOracle(), l2))
-			if err != nil {
-				return 0, err
-			}
-			base = r.IPC()
-			oracleIPC[bench] = base
-		}
+	oracleIPC, err := oracleBaselines(opt, l2)
+	if err != nil {
+		return Result{}, err
+	}
+	return sweep(id, title, notes, opt, schemes, cols, func(bench string, _ int, sch sim.Scheme) (float64, error) {
 		r, err := sim.Run(bench, perfConfig(opt, sch, l2))
 		if err != nil {
 			return 0, err
 		}
+		base := oracleIPC[bench]
 		if base == 0 {
 			return 0, nil
 		}

@@ -4,9 +4,31 @@ import (
 	"fmt"
 
 	"ctrpred/internal/predictor"
+	"ctrpred/internal/runpool"
 	"ctrpred/internal/sim"
 	"ctrpred/internal/stats"
 )
+
+// ratio is a per-benchmark normalized value; ok is false when the
+// denominator was zero and the sample must be skipped.
+type ratio struct {
+	v  float64
+	ok bool
+}
+
+// meanRatios averages the valid samples in benchmark order, exactly as
+// the sequential accumulation did.
+func meanRatios(rs []ratio) float64 {
+	var sum float64
+	var n int
+	for _, r := range rs {
+		if r.ok {
+			sum += r.v
+			n++
+		}
+	}
+	return sum / float64(n)
+}
 
 // ContextSwitch regenerates the multiprogramming claim of Section 2.2 /
 // Section 3.1: sequence-number cache hit rates "can be substantially
@@ -39,22 +61,40 @@ func ContextSwitch(opt Options) (Result, error) {
 		sim.SchemeSeqCache(128 << 10),
 		sim.SchemePred(predictor.SchemeRegular),
 	}
+	var jobs []runpool.Job[float64]
+	for _, iv := range intervals {
+		for _, sch := range schemes {
+			for _, bench := range opt.Benchmarks {
+				jobs = append(jobs, runpool.Job[float64]{
+					Label: fmt.Sprintf("ContextSwitch %s %s/%s", iv.name, bench, sch.Name),
+					Fn: func() (float64, error) {
+						cfg := hitRateConfig(opt, sch, 256<<10)
+						cfg.Mem.ContextSwitchInterval = iv.cycles(cfg.Scale.Instructions)
+						r, err := sim.Run(bench, cfg)
+						if err != nil {
+							return 0, fmt.Errorf("ctxswitch %s/%s: %w", iv.name, bench, err)
+						}
+						if sch.Pred != predictor.SchemeNone {
+							return r.PredRate(), nil
+						}
+						return r.SeqHitRate(), nil
+					},
+				})
+			}
+		}
+	}
+	covered, err := runpool.Run(opt.pool(), jobs)
+	if err != nil {
+		return Result{}, err
+	}
+	k := 0
 	for _, iv := range intervals {
 		vals := make([]float64, len(schemes))
-		for i, sch := range schemes {
+		for i := range schemes {
 			var sum float64
-			for _, bench := range opt.Benchmarks {
-				cfg := hitRateConfig(opt, sch, 256<<10)
-				cfg.Mem.ContextSwitchInterval = iv.cycles(cfg.Scale.Instructions)
-				r, err := sim.Run(bench, cfg)
-				if err != nil {
-					return Result{}, fmt.Errorf("ctxswitch %s/%s: %w", iv.name, bench, err)
-				}
-				if sch.Pred != predictor.SchemeNone {
-					sum += r.PredRate()
-				} else {
-					sum += r.SeqHitRate()
-				}
+			for range opt.Benchmarks {
+				sum += covered[k]
+				k++
 			}
 			vals[i] = sum / float64(len(opt.Benchmarks))
 		}
@@ -88,26 +128,36 @@ func Integrity(opt Options) (Result, error) {
 		sim.SchemePred(predictor.SchemeContext),
 		sim.SchemeOracle(),
 	}
+	var jobs []runpool.Job[ratio]
 	for _, sch := range schemes {
-		var sum float64
-		var n int
 		for _, bench := range opt.Benchmarks {
-			base, err := sim.Run(bench, perfConfig(opt, sch, 256<<10))
-			if err != nil {
-				return Result{}, err
-			}
-			withTree, err := sim.Run(bench, perfConfig(opt, sch, 256<<10).WithIntegrity())
-			if err != nil {
-				return Result{}, err
-			}
-			if base.IPC() > 0 {
-				sum += withTree.IPC() / base.IPC()
-				n++
-			}
+			jobs = append(jobs, runpool.Job[ratio]{
+				Label: fmt.Sprintf("Integrity %s/%s", bench, sch.Name),
+				Fn: func() (ratio, error) {
+					base, err := sim.Run(bench, perfConfig(opt, sch, 256<<10))
+					if err != nil {
+						return ratio{}, err
+					}
+					withTree, err := sim.Run(bench, perfConfig(opt, sch, 256<<10).WithIntegrity())
+					if err != nil {
+						return ratio{}, err
+					}
+					if base.IPC() <= 0 {
+						return ratio{}, nil
+					}
+					return ratio{v: withTree.IPC() / base.IPC(), ok: true}, nil
+				},
+			})
 		}
-		ratio := sum / float64(n)
-		res.Series["normalized_ipc"][sch.Name] = ratio
-		res.Table.AddFloats(sch.Name, 3, ratio)
+	}
+	ratios, err := runpool.Run(opt.pool(), jobs)
+	if err != nil {
+		return Result{}, err
+	}
+	for i, sch := range schemes {
+		avg := meanRatios(ratios[i*len(opt.Benchmarks) : (i+1)*len(opt.Benchmarks)])
+		res.Series["normalized_ipc"][sch.Name] = avg
+		res.Table.AddFloats(sch.Name, 3, avg)
 	}
 	return res, nil
 }
@@ -138,34 +188,39 @@ func Hybrid(opt Options) (Result, error) {
 		{"prediction-only", sim.SchemePred(predictor.SchemeRegular), 0},
 		{"hybrid", sim.SchemePred(predictor.SchemeRegular), 1},
 	}
-	oracleIPC := make(map[string]float64)
+	oracleIPC, err := oracleBaselines(opt, 256<<10)
+	if err != nil {
+		return Result{}, err
+	}
+	var jobs []runpool.Job[ratio]
 	for _, v := range variants {
-		var sum float64
-		var n int
 		for _, bench := range opt.Benchmarks {
-			base, ok := oracleIPC[bench]
-			if !ok {
-				r, err := sim.Run(bench, perfConfig(opt, sim.SchemeOracle(), 256<<10))
-				if err != nil {
-					return Result{}, err
-				}
-				base = r.IPC()
-				oracleIPC[bench] = base
-			}
-			cfg := perfConfig(opt, v.scheme, 256<<10)
-			cfg.Mem.PrefetchDegree = v.prefetch
-			r, err := sim.Run(bench, cfg)
-			if err != nil {
-				return Result{}, err
-			}
-			if base > 0 {
-				sum += r.IPC() / base
-				n++
-			}
+			jobs = append(jobs, runpool.Job[ratio]{
+				Label: fmt.Sprintf("Hybrid %s/%s", bench, v.name),
+				Fn: func() (ratio, error) {
+					cfg := perfConfig(opt, v.scheme, 256<<10)
+					cfg.Mem.PrefetchDegree = v.prefetch
+					r, err := sim.Run(bench, cfg)
+					if err != nil {
+						return ratio{}, err
+					}
+					base := oracleIPC[bench]
+					if base <= 0 {
+						return ratio{}, nil
+					}
+					return ratio{v: r.IPC() / base, ok: true}, nil
+				},
+			})
 		}
-		ratio := sum / float64(n)
-		res.Series["normalized_ipc"][v.name] = ratio
-		res.Table.AddFloats(v.name, 3, ratio)
+	}
+	ratios, err := runpool.Run(opt.pool(), jobs)
+	if err != nil {
+		return Result{}, err
+	}
+	for i, v := range variants {
+		avg := meanRatios(ratios[i*len(opt.Benchmarks) : (i+1)*len(opt.Benchmarks)])
+		res.Series["normalized_ipc"][v.name] = avg
+		res.Table.AddFloats(v.name, 3, avg)
 	}
 	return res, nil
 }
@@ -189,17 +244,46 @@ func SeqCacheSweep(opt Options) (Result, error) {
 		"capacity", "avg hit rate", "marginal gain / 2x size")
 
 	sizes := []int{4 << 10, 16 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20}
+	var jobs []runpool.Job[float64]
+	for _, size := range sizes {
+		for _, bench := range opt.Benchmarks {
+			jobs = append(jobs, runpool.Job[float64]{
+				Label: fmt.Sprintf("SeqCacheSweep %dKB/%s", size>>10, bench),
+				Fn: func() (float64, error) {
+					r, err := sim.Run(bench, hitRateConfig(opt, sim.SchemeSeqCache(size), 256<<10))
+					if err != nil {
+						return 0, err
+					}
+					return r.SeqHitRate(), nil
+				},
+			})
+		}
+	}
+	// Reference line: prediction with zero dedicated storage.
+	for _, bench := range opt.Benchmarks {
+		jobs = append(jobs, runpool.Job[float64]{
+			Label: fmt.Sprintf("SeqCacheSweep prediction/%s", bench),
+			Fn: func() (float64, error) {
+				r, err := sim.Run(bench, hitRateConfig(opt, sim.SchemePred(predictor.SchemeRegular), 256<<10))
+				if err != nil {
+					return 0, err
+				}
+				return r.PredRate(), nil
+			},
+		})
+	}
+	rates, err := runpool.Run(opt.pool(), jobs)
+	if err != nil {
+		return Result{}, err
+	}
+	nb := len(opt.Benchmarks)
 	prev := 0.0
 	for i, size := range sizes {
 		var sum float64
-		for _, bench := range opt.Benchmarks {
-			r, err := sim.Run(bench, hitRateConfig(opt, sim.SchemeSeqCache(size), 256<<10))
-			if err != nil {
-				return Result{}, err
-			}
-			sum += r.SeqHitRate()
+		for _, r := range rates[i*nb : (i+1)*nb] {
+			sum += r
 		}
-		avg := sum / float64(len(opt.Benchmarks))
+		avg := sum / float64(nb)
 		name := fmt.Sprintf("%dKB", size>>10)
 		res.Series["hit_rate"][name] = avg
 		gain := 0.0
@@ -209,16 +293,11 @@ func SeqCacheSweep(opt Options) (Result, error) {
 		res.Table.AddFloats(name, 3, avg, gain)
 		prev = avg
 	}
-	// Reference line: prediction with zero dedicated storage.
 	var sum float64
-	for _, bench := range opt.Benchmarks {
-		r, err := sim.Run(bench, hitRateConfig(opt, sim.SchemePred(predictor.SchemeRegular), 256<<10))
-		if err != nil {
-			return Result{}, err
-		}
-		sum += r.PredRate()
+	for _, r := range rates[len(sizes)*nb:] {
+		sum += r
 	}
-	avg := sum / float64(len(opt.Benchmarks))
+	avg := sum / float64(nb)
 	res.Series["hit_rate"]["prediction (0KB)"] = avg
 	res.Table.AddFloats("prediction (0KB)", 3, avg, 0)
 	return res, nil
@@ -252,34 +331,39 @@ func ValuePrediction(opt Options) (Result, error) {
 		{"otp-pred-only", sim.SchemePred(predictor.SchemeRegular), 0},
 		{"otp-pred+lvp", sim.SchemePred(predictor.SchemeRegular), 4096},
 	}
-	oracleIPC := make(map[string]float64)
+	oracleIPC, err := oracleBaselines(opt, 256<<10)
+	if err != nil {
+		return Result{}, err
+	}
+	var jobs []runpool.Job[ratio]
 	for _, v := range variants {
-		var sum float64
-		var n int
 		for _, bench := range opt.Benchmarks {
-			base, ok := oracleIPC[bench]
-			if !ok {
-				r, err := sim.Run(bench, perfConfig(opt, sim.SchemeOracle(), 256<<10))
-				if err != nil {
-					return Result{}, err
-				}
-				base = r.IPC()
-				oracleIPC[bench] = base
-			}
-			cfg := perfConfig(opt, v.scheme, 256<<10)
-			cfg.CPU.LVPEntries = v.lvp
-			r, err := sim.Run(bench, cfg)
-			if err != nil {
-				return Result{}, err
-			}
-			if base > 0 {
-				sum += r.IPC() / base
-				n++
-			}
+			jobs = append(jobs, runpool.Job[ratio]{
+				Label: fmt.Sprintf("ValuePrediction %s/%s", bench, v.name),
+				Fn: func() (ratio, error) {
+					cfg := perfConfig(opt, v.scheme, 256<<10)
+					cfg.CPU.LVPEntries = v.lvp
+					r, err := sim.Run(bench, cfg)
+					if err != nil {
+						return ratio{}, err
+					}
+					base := oracleIPC[bench]
+					if base <= 0 {
+						return ratio{}, nil
+					}
+					return ratio{v: r.IPC() / base, ok: true}, nil
+				},
+			})
 		}
-		ratio := sum / float64(n)
-		res.Series["normalized_ipc"][v.name] = ratio
-		res.Table.AddFloats(v.name, 3, ratio)
+	}
+	ratios, err := runpool.Run(opt.pool(), jobs)
+	if err != nil {
+		return Result{}, err
+	}
+	for i, v := range variants {
+		avg := meanRatios(ratios[i*len(opt.Benchmarks) : (i+1)*len(opt.Benchmarks)])
+		res.Series["normalized_ipc"][v.name] = avg
+		res.Table.AddFloats(v.name, 3, avg)
 	}
 	return res, nil
 }

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ctrpred/internal/runpool"
+)
+
+// TestParallelSweepDeterministic is the tentpole guarantee: a sweep at
+// Workers=4 produces byte-identical tables and identical series to
+// Workers=1 for the same seed.
+func TestParallelSweepDeterministic(t *testing.T) {
+	for _, id := range []string{"fig7", "fig10"} {
+		opt := quickOpts()
+		if id == "fig10" {
+			opt.Benchmarks = []string{"mcf", "gzip", "swim"}
+		}
+
+		seq := opt
+		seq.Workers = 1
+		par := opt
+		par.Workers = 4
+
+		a, err := ByID(id, seq)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", id, err)
+		}
+		b, err := ByID(id, par)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if a.Table.String() != b.Table.String() {
+			t.Fatalf("%s: parallel table differs from sequential:\n--- j=1 ---\n%s\n--- j=4 ---\n%s",
+				id, a.Table, b.Table)
+		}
+		if !reflect.DeepEqual(a.Series, b.Series) {
+			t.Fatalf("%s: parallel series differ from sequential:\n%v\nvs\n%v", id, a.Series, b.Series)
+		}
+	}
+}
+
+// TestSweepProgressUpdates checks the per-simulation progress plumbing:
+// one update per (benchmark, scheme) cell, labels carrying the figure id.
+func TestSweepProgressUpdates(t *testing.T) {
+	opt := quickOpts()
+	opt.Workers = 2
+	var labels []string
+	opt.Progress = func(u runpool.Update) { labels = append(labels, u.Label) }
+	if _, err := Figure7(opt); err != nil {
+		t.Fatal(err)
+	}
+	// 3 benchmarks × 3 schemes.
+	if len(labels) != 9 {
+		t.Fatalf("%d progress updates, want 9: %v", len(labels), labels)
+	}
+	for _, l := range labels {
+		if !strings.HasPrefix(l, "Figure 7 ") {
+			t.Fatalf("progress label %q missing figure id", l)
+		}
+	}
+}
+
+// TestSweepErrorLabeled checks a failing simulation fails its sweep with
+// the figure/benchmark/scheme context, not a bare error.
+func TestSweepErrorLabeled(t *testing.T) {
+	opt := quickOpts()
+	opt.Benchmarks = []string{"nonesuch"}
+	opt.Workers = 4
+	_, err := Figure7(opt)
+	if err == nil {
+		t.Fatal("sweep over an unknown benchmark succeeded")
+	}
+	for _, want := range []string{"Figure 7", "nonesuch"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"ctrpred/internal/dram"
 	"ctrpred/internal/mem"
 	"ctrpred/internal/predictor"
+	"ctrpred/internal/runpool"
 	"ctrpred/internal/secmem"
 	"ctrpred/internal/seqcache"
 	"ctrpred/internal/sim"
@@ -138,21 +139,40 @@ func Ablation(opt Options) (Result, error) {
 		{"context swing=1", func(c *predictor.Config) { c.Scheme = predictor.SchemeContext; c.Swing = 1 }},
 		{"context swing=7", func(c *predictor.Config) { c.Scheme = predictor.SchemeContext; c.Swing = 7 }},
 	}
+	var jobs []runpool.Job[[2]float64]
 	for _, v := range variants {
 		pc := predictor.DefaultConfig(predictor.SchemeRegular)
 		v.mod(&pc)
 		scheme := sim.Scheme{Name: v.name, Pred: pc.Scheme, PredConfig: &pc}
+		for _, bench := range opt.Benchmarks {
+			jobs = append(jobs, runpool.Job[[2]float64]{
+				Label: fmt.Sprintf("Ablation %s/%s", bench, v.name),
+				Fn: func() ([2]float64, error) {
+					r, err := sim.Run(bench, hitRateConfig(opt, scheme, 256<<10))
+					if err != nil {
+						return [2]float64{}, fmt.Errorf("ablation %s: %w", v.name, err)
+					}
+					var gpf float64
+					if r.Pred.Fetches > 0 {
+						gpf = float64(r.Pred.Guesses) / float64(r.Pred.Fetches)
+					}
+					return [2]float64{r.PredRate(), gpf}, nil
+				},
+			})
+		}
+	}
+	vals, err := runpool.Run(opt.pool(), jobs)
+	if err != nil {
+		return Result{}, err
+	}
+	k := 0
+	for _, v := range variants {
 		var rateSum, guessPerFetch float64
 		var n int
-		for _, bench := range opt.Benchmarks {
-			r, err := sim.Run(bench, hitRateConfig(opt, scheme, 256<<10))
-			if err != nil {
-				return Result{}, fmt.Errorf("ablation %s: %w", v.name, err)
-			}
-			rateSum += r.PredRate()
-			if r.Pred.Fetches > 0 {
-				guessPerFetch += float64(r.Pred.Guesses) / float64(r.Pred.Fetches)
-			}
+		for range opt.Benchmarks {
+			rateSum += vals[k][0]
+			guessPerFetch += vals[k][1]
+			k++
 			n++
 		}
 		avg := rateSum / float64(n)

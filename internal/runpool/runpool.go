@@ -1,0 +1,155 @@
+// Package runpool executes independent simulation jobs across a bounded
+// pool of workers and assembles their results in deterministic input
+// order.
+//
+// Every experiment sweep in this repository is embarrassingly parallel:
+// each (benchmark, scheme) simulation is an isolated machine driven only
+// by its seed, mirroring the paper's evaluation methodology (Section 5),
+// where every data point is an independent SimpleScalar run. The pool
+// exploits that independence for wall-clock speed while keeping the
+// assembled output — tables, series maps, even the error reported on
+// failure — byte-identical to a sequential run: results land in the slot
+// of their input index, and the error returned is always the
+// lowest-index failure regardless of completion order.
+//
+// A panicking job does not kill the sweep: the panic is captured as a
+// *PanicError labeled with the job, and surfaces through the normal
+// error path.
+package runpool
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Job is one unit of independent work producing a T.
+type Job[T any] struct {
+	// Label identifies the job in progress updates and panic errors,
+	// e.g. "Figure 7 mcf/pred-regular".
+	Label string
+	// Fn computes the job's value. It must not share mutable state with
+	// other jobs.
+	Fn func() (T, error)
+}
+
+// Update describes one finished job. Progress callbacks receive updates
+// in completion order (not input order), serialized — never concurrently.
+type Update struct {
+	// Index is the job's position in the input slice.
+	Index int
+	// Label is the job's label.
+	Label string
+	// Err is the job's failure, if any (panics arrive as *PanicError).
+	Err error
+	// Elapsed is the job's wall-clock duration.
+	Elapsed time.Duration
+	// Done counts jobs finished so far, including this one.
+	Done int
+	// Total is the number of jobs in the run.
+	Total int
+}
+
+// Options configures a Run.
+type Options struct {
+	// Workers caps concurrent jobs; <= 0 means DefaultWorkers().
+	Workers int
+	// Progress, when non-nil, is called once per finished job.
+	Progress func(Update)
+}
+
+// PanicError is the error a job that panicked fails with.
+type PanicError struct {
+	// Label is the panicking job's label.
+	Label string
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the goroutine stack at the point of the panic.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("job %q panicked: %v", e.Label, e.Value)
+}
+
+// DefaultWorkers is the worker count used when Options.Workers <= 0:
+// one per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Run executes every job across the pool and returns their values in
+// input order. All jobs run even if some fail; if any failed, Run
+// returns the error of the lowest-index failed job (so the reported
+// error does not depend on scheduling), alongside the partial results —
+// slots of failed jobs hold T's zero value.
+func Run[T any](opt Options, jobs []Job[T]) ([]T, error) {
+	results := make([]T, len(jobs))
+	errs := make([]error, len(jobs))
+	if len(jobs) == 0 {
+		return results, nil
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var (
+		mu   sync.Mutex // serializes Progress and the done counter
+		done int
+	)
+	finish := func(i int, elapsed time.Duration) {
+		if opt.Progress == nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		opt.Progress(Update{
+			Index:   i,
+			Label:   jobs[i].Label,
+			Err:     errs[i],
+			Elapsed: elapsed,
+			Done:    done,
+			Total:   len(jobs),
+		})
+	}
+	exec := func(i int) {
+		start := time.Now()
+		defer func() {
+			if v := recover(); v != nil {
+				errs[i] = &PanicError{Label: jobs[i].Label, Value: v, Stack: debug.Stack()}
+			}
+			finish(i, time.Since(start))
+		}()
+		results[i], errs[i] = jobs[i].Fn()
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				exec(i)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,142 @@
+package runpool
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestOrderPreservedAcrossWorkers(t *testing.T) {
+	const n = 100
+	jobs := make([]Job[int], n)
+	for i := 0; i < n; i++ {
+		jobs[i] = Job[int]{
+			Label: fmt.Sprintf("job-%d", i),
+			Fn: func() (int, error) {
+				// Earlier jobs sleep longer, so completion order inverts
+				// submission order; results must still land by index.
+				time.Sleep(time.Duration(n-i) * 10 * time.Microsecond)
+				return i * i, nil
+			},
+		}
+	}
+	for _, workers := range []int{1, 4, 16, n + 5} {
+		got, err := Run(Options{Workers: workers}, jobs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestPanicCaptured(t *testing.T) {
+	jobs := []Job[string]{
+		{Label: "fine", Fn: func() (string, error) { return "ok", nil }},
+		{Label: "bomb", Fn: func() (string, error) { panic("boom") }},
+		{Label: "also-fine", Fn: func() (string, error) { return "ok", nil }},
+	}
+	got, err := Run(Options{Workers: 2}, jobs)
+	if err == nil {
+		t.Fatal("panic did not surface as an error")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not a *PanicError: %v", err, err)
+	}
+	if pe.Label != "bomb" || pe.Value != "boom" {
+		t.Fatalf("panic mislabeled: %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), "bomb") || !strings.Contains(pe.Error(), "boom") {
+		t.Fatalf("PanicError message uninformative: %q", pe.Error())
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic stack not captured")
+	}
+	// The sweep survives: the other jobs still produced their values.
+	if got[0] != "ok" || got[2] != "ok" {
+		t.Fatalf("sibling jobs lost: %q", got)
+	}
+}
+
+func TestLowestIndexErrorWins(t *testing.T) {
+	// Job 7 fails instantly, job 2 fails slowly: the reported error must
+	// be job 2's regardless of completion order.
+	jobs := make([]Job[int], 10)
+	for i := range jobs {
+		jobs[i] = Job[int]{Label: fmt.Sprintf("job-%d", i), Fn: func() (int, error) {
+			switch i {
+			case 2:
+				time.Sleep(20 * time.Millisecond)
+				return 0, errors.New("slow failure")
+			case 7:
+				return 0, errors.New("fast failure")
+			}
+			return i, nil
+		}}
+	}
+	_, err := Run(Options{Workers: 8}, jobs)
+	if err == nil || err.Error() != "slow failure" {
+		t.Fatalf("err = %v, want job 2's slow failure", err)
+	}
+}
+
+func TestProgressSerializedAndComplete(t *testing.T) {
+	const n = 50
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		jobs[i] = Job[int]{Label: fmt.Sprintf("job-%d", i), Fn: func() (int, error) { return i, nil }}
+	}
+	var updates []Update
+	var inFlight atomic.Int32
+	_, err := Run(Options{
+		Workers: 8,
+		Progress: func(u Update) {
+			if inFlight.Add(1) != 1 {
+				t.Error("progress callback ran concurrently")
+			}
+			updates = append(updates, u)
+			inFlight.Add(-1)
+		},
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) != n {
+		t.Fatalf("%d updates, want %d", len(updates), n)
+	}
+	seen := make(map[int]bool)
+	for k, u := range updates {
+		if u.Done != k+1 || u.Total != n {
+			t.Fatalf("update %d: Done=%d Total=%d", k, u.Done, u.Total)
+		}
+		if u.Label != fmt.Sprintf("job-%d", u.Index) {
+			t.Fatalf("update %d: label %q does not match index %d", k, u.Label, u.Index)
+		}
+		if seen[u.Index] {
+			t.Fatalf("job %d reported twice", u.Index)
+		}
+		seen[u.Index] = true
+	}
+}
+
+func TestEmptyAndDefaults(t *testing.T) {
+	got, err := Run[int](Options{}, nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty run: %v, %v", got, err)
+	}
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers() = %d", DefaultWorkers())
+	}
+	// Workers <= 0 falls back to the default and still runs everything.
+	vals, err := Run(Options{Workers: -3}, []Job[int]{{Label: "x", Fn: func() (int, error) { return 42, nil }}})
+	if err != nil || vals[0] != 42 {
+		t.Fatalf("default-worker run: %v, %v", vals, err)
+	}
+}

@@ -66,17 +66,27 @@ func SchemeBaseline() Scheme { return Scheme{Name: "baseline"} }
 func SchemeOracle() Scheme   { return Scheme{Name: "oracle", Oracle: true} }
 func SchemeDirect() Scheme   { return Scheme{Name: "direct", Direct: true} }
 func SchemeSeqCache(bytes int) Scheme {
-	return Scheme{Name: fmt.Sprintf("seqcache-%dK", bytes>>10), SeqCacheBytes: bytes}
+	return Scheme{Name: "seqcache-" + sizeLabel(bytes), SeqCacheBytes: bytes}
 }
 func SchemePred(p predictor.Scheme) Scheme {
 	return Scheme{Name: "pred-" + p.String(), Pred: p}
 }
 func SchemeCombined(bytes int, p predictor.Scheme) Scheme {
 	return Scheme{
-		Name:          fmt.Sprintf("seqcache-%dK+pred-%s", bytes>>10, p),
+		Name:          fmt.Sprintf("seqcache-%s+pred-%s", sizeLabel(bytes), p),
 		SeqCacheBytes: bytes,
 		Pred:          p,
 	}
+}
+
+// sizeLabel renders a capacity for scheme names: whole KiB above 1 KiB
+// (1 MiB stays "1024K", matching the figures' labels), raw bytes below —
+// a 512-byte cache is "512B", not the truncated "0K".
+func sizeLabel(bytes int) string {
+	if bytes < 1<<10 {
+		return fmt.Sprintf("%dB", bytes)
+	}
+	return fmt.Sprintf("%dK", bytes>>10)
 }
 
 // Config is a full machine + run configuration.
@@ -172,14 +182,17 @@ func (r Result) SeqHitRate() float64 {
 // examples use Machine directly to poke at components.
 type Machine struct {
 	Config Config
-	Image  *mem.Memory
-	Core   *cpu.Core
-	Sys    *memsys.System
-	Ctrl   *secmem.Controller
-	Pred   *predictor.Predictor
-	SCache *seqcache.Cache
-	Engine *cryptoengine.Engine
-	DRAM   *dram.DRAM
+	// Benchmark is the workload the machine was built for; results carry
+	// it so a Result can never be mislabeled by the caller.
+	Benchmark string
+	Image     *mem.Memory
+	Core      *cpu.Core
+	Sys       *memsys.System
+	Ctrl      *secmem.Controller
+	Pred      *predictor.Predictor
+	SCache    *seqcache.Cache
+	Engine    *cryptoengine.Engine
+	DRAM      *dram.DRAM
 }
 
 // NewMachine builds the machine and loads the named workload.
@@ -243,14 +256,15 @@ func NewMachine(bench string, cfg Config) (*Machine, error) {
 	core := cpu.New(cfg.CPU, wl.Prog, image, sys)
 
 	return &Machine{
-		Config: cfg, Image: image, Core: core, Sys: sys, Ctrl: ctrl,
-		Pred: pred, SCache: sc, Engine: engine, DRAM: d,
+		Config: cfg, Benchmark: bench, Image: image, Core: core, Sys: sys,
+		Ctrl: ctrl, Pred: pred, SCache: sc, Engine: engine, DRAM: d,
 	}, nil
 }
 
 // Run executes the machine to the configured instruction budget and
-// collects the result.
-func (m *Machine) Run(bench string) Result {
+// collects the result, labeled with the benchmark the machine was built
+// for.
+func (m *Machine) Run() Result {
 	var cs cpu.Stats
 	if m.Config.Mode == HitRate {
 		cs = m.Core.RunFunctional(m.Config.Scale.Instructions)
@@ -259,7 +273,7 @@ func (m *Machine) Run(bench string) Result {
 	}
 	_, l1d, l2 := m.Sys.Caches()
 	res := Result{
-		Benchmark:     bench,
+		Benchmark:     m.Benchmark,
 		Scheme:        m.Config.Scheme.Name,
 		Mode:          m.Config.Mode,
 		CPU:           cs,
@@ -283,11 +297,17 @@ func (m *Machine) Run(bench string) Result {
 	return res
 }
 
+// RunBenchmark is the old Run(bench) signature. The label now lives on
+// the Machine, so the argument is ignored.
+//
+// Deprecated: use Run.
+func (m *Machine) RunBenchmark(string) Result { return m.Run() }
+
 // Run builds and runs the named benchmark under cfg.
 func Run(bench string, cfg Config) (Result, error) {
 	m, err := NewMachine(bench, cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	return m.Run(bench), nil
+	return m.Run(), nil
 }

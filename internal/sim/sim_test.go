@@ -123,6 +123,26 @@ func TestSchemeNames(t *testing.T) {
 	}
 }
 
+func TestSchemeLabelSubKiB(t *testing.T) {
+	// Sub-1-KiB capacities used to truncate to the nonsensical "0K".
+	cases := map[string]string{
+		SchemeSeqCache(512).Name:                             "seqcache-512B",
+		SchemeSeqCache(1).Name:                               "seqcache-1B",
+		SchemeSeqCache(1 << 10).Name:                         "seqcache-1K",
+		SchemeSeqCache(1 << 20).Name:                         "seqcache-1024K",
+		SchemeCombined(768, predictor.SchemeRegular).Name:    "seqcache-768B+pred-regular",
+		SchemeCombined(32<<10, predictor.SchemeContext).Name: "seqcache-32K+pred-context",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("scheme label %q, want %q", got, want)
+		}
+	}
+	if sizeLabel(1023) != "1023B" || sizeLabel(1024) != "1K" || sizeLabel(2048) != "2K" {
+		t.Error("sizeLabel boundary wrong")
+	}
+}
+
 func TestWithL2AndMode(t *testing.T) {
 	cfg := DefaultConfig(SchemeBaseline()).WithL2(1 << 20).WithMode(HitRate)
 	if cfg.Mem.L2Size != 1<<20 || cfg.Mem.L2Latency != 8 || cfg.Mode != HitRate {
