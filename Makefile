@@ -20,6 +20,6 @@ test:
 # several-fold for no extra concurrency coverage.
 race:
 	$(GO) test -race ./internal/runpool
-	$(GO) test -race ./internal/experiments -run 'Parallel|SweepProgress|SweepError'
+	$(GO) test -race ./internal/experiments -run 'Parallel|SweepProgress|SweepError|SweepCancel|SweepPreCancelled|SimTimeout'
 
 verify: build vet test race

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	ctrsim -bench mcf -scheme pred-context -l2 256K -instr 1000000
+//	ctrsim -bench mcf -metrics run.json     # full metrics tree as JSON
 //	ctrsim -list
 //
 // Schemes: baseline, oracle, seqcache:<size>, pred-regular,
@@ -12,10 +13,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
-	"strconv"
 	"strings"
 
 	"ctrpred"
@@ -31,6 +35,8 @@ func main() {
 		mode    = flag.String("mode", "performance", "performance (IPC) or hitrate (fast functional)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		flush   = flag.Uint64("flush", 0, "dirty-flush interval in cycles (0 = instr/10)")
+		metrics = flag.String("metrics", "", "write the metrics snapshot to this path (JSON; a .csv suffix selects CSV; '-' = stdout)")
+		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
 		verbose = flag.Bool("v", false, "print extended statistics")
 	)
@@ -49,23 +55,32 @@ func main() {
 		}
 		return
 	}
-
-	sch, err := parseScheme(*scheme)
-	if err != nil {
-		fatal(err)
-	}
-	l2Bytes, err := parseSize(*l2)
-	if err != nil {
-		fatal(err)
-	}
-	footBytes, err := parseSize(*foot)
-	if err != nil {
-		fatal(err)
+	if *pprof != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "ctrsim: pprof:", err)
+			}
+		}()
 	}
 
-	cfg := ctrpred.DefaultConfig(sch).WithL2(l2Bytes)
-	cfg.Scale = ctrpred.Scale{Footprint: footBytes, Instructions: *instr}
-	cfg.Seed = *seed
+	sch, err := ctrpred.ParseScheme(*scheme)
+	if err != nil {
+		fatal(err)
+	}
+	l2Bytes, err := ctrpred.ParseSize(*l2)
+	if err != nil {
+		fatal(err)
+	}
+	footBytes, err := ctrpred.ParseSize(*foot)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := ctrpred.DefaultConfig(sch).
+		WithL2(l2Bytes).
+		WithFootprint(footBytes).
+		WithInstrBudget(*instr).
+		WithSeed(*seed)
 	if *mode == "hitrate" {
 		cfg = cfg.WithMode(ctrpred.ModeHitRate)
 	} else if *mode != "performance" {
@@ -79,6 +94,9 @@ func main() {
 
 	res, err := ctrpred.Run(*bench, cfg)
 	if err != nil {
+		if errors.Is(err, ctrpred.ErrUnknownBenchmark) {
+			fatal(fmt.Errorf("%v\nrun 'ctrsim -list' for the benchmark set", err))
+		}
 		fatal(err)
 	}
 
@@ -109,51 +127,34 @@ func main() {
 		fmt.Printf("decrypt exposure       %d cycles total\n", res.Ctrl.DecryptExposed)
 		fmt.Printf("flushes (lines)        %d (%d)\n", res.Hierarchy.Flushes, res.Hierarchy.FlushedLines)
 	}
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, res.Snapshot()); err != nil {
+			fatal(err)
+		}
+	}
 }
 
-func parseScheme(s string) (ctrpred.Scheme, error) {
-	switch {
-	case s == "baseline":
-		return ctrpred.SchemeBaseline(), nil
-	case s == "oracle":
-		return ctrpred.SchemeOracle(), nil
-	case s == "direct":
-		return ctrpred.SchemeDirect(), nil
-	case s == "pred-regular":
-		return ctrpred.SchemePred(ctrpred.PredRegular), nil
-	case s == "pred-twolevel":
-		return ctrpred.SchemePred(ctrpred.PredTwoLevel), nil
-	case s == "pred-context":
-		return ctrpred.SchemePred(ctrpred.PredContext), nil
-	case strings.HasPrefix(s, "seqcache:"):
-		n, err := parseSize(strings.TrimPrefix(s, "seqcache:"))
+// writeMetrics serializes the snapshot to path: JSON by default, CSV when
+// the path ends in .csv, stdout when path is "-".
+func writeMetrics(path string, snap *ctrpred.Snapshot) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
 		if err != nil {
-			return ctrpred.Scheme{}, err
+			return err
 		}
-		return ctrpred.SchemeSeqCache(n), nil
-	case strings.HasPrefix(s, "combined:"):
-		n, err := parseSize(strings.TrimPrefix(s, "combined:"))
-		if err != nil {
-			return ctrpred.Scheme{}, err
-		}
-		return ctrpred.SchemeCombined(n, ctrpred.PredRegular), nil
+		defer f.Close()
+		w = f
 	}
-	return ctrpred.Scheme{}, fmt.Errorf("unknown scheme %q", s)
-}
-
-func parseSize(s string) (int, error) {
-	mult := 1
-	switch {
-	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
-		mult, s = 1<<10, s[:len(s)-1]
-	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
-		mult, s = 1<<20, s[:len(s)-1]
+	if strings.HasSuffix(path, ".csv") {
+		return snap.WriteCSV(w)
 	}
-	n, err := strconv.Atoi(s)
-	if err != nil || n <= 0 {
-		return 0, fmt.Errorf("bad size %q", s)
+	b, err := snap.JSON()
+	if err != nil {
+		return err
 	}
-	return n * mult, nil
+	_, err = w.Write(b)
+	return err
 }
 
 func fatal(err error) {

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"errors"
+	"testing"
+
+	"ctrpred"
+)
 
 func TestParseSize(t *testing.T) {
 	cases := map[string]int{
@@ -12,14 +17,14 @@ func TestParseSize(t *testing.T) {
 		"512K": 512 << 10,
 	}
 	for in, want := range cases {
-		got, err := parseSize(in)
+		got, err := ctrpred.ParseSize(in)
 		if err != nil || got != want {
-			t.Errorf("parseSize(%q) = %d, %v; want %d", in, got, err, want)
+			t.Errorf("ParseSize(%q) = %d, %v; want %d", in, got, err, want)
 		}
 	}
 	for _, bad := range []string{"", "K", "-4K", "0", "abc", "4G"} {
-		if _, err := parseSize(bad); err == nil {
-			t.Errorf("parseSize(%q) succeeded", bad)
+		if _, err := ctrpred.ParseSize(bad); err == nil {
+			t.Errorf("ParseSize(%q) succeeded", bad)
 		}
 	}
 }
@@ -36,18 +41,22 @@ func TestParseScheme(t *testing.T) {
 		"combined:32K":  "seqcache-32K+pred-regular",
 	}
 	for in, wantName := range good {
-		s, err := parseScheme(in)
+		s, err := ctrpred.ParseScheme(in)
 		if err != nil {
-			t.Errorf("parseScheme(%q): %v", in, err)
+			t.Errorf("ParseScheme(%q): %v", in, err)
 			continue
 		}
 		if s.Name != wantName {
-			t.Errorf("parseScheme(%q).Name = %q, want %q", in, s.Name, wantName)
+			t.Errorf("ParseScheme(%q).Name = %q, want %q", in, s.Name, wantName)
 		}
 	}
 	for _, bad := range []string{"", "pred", "seqcache:", "seqcache:x", "combined:", "frob"} {
-		if _, err := parseScheme(bad); err == nil {
-			t.Errorf("parseScheme(%q) succeeded", bad)
+		if _, err := ctrpred.ParseScheme(bad); err == nil {
+			t.Errorf("ParseScheme(%q) succeeded", bad)
 		}
+	}
+	// Unparsable specs (other than bad sizes) wrap the sentinel.
+	if _, err := ctrpred.ParseScheme("frob"); !errors.Is(err, ctrpred.ErrUnknownScheme) {
+		t.Errorf("ParseScheme(\"frob\") = %v, want errors.Is(err, ErrUnknownScheme)", err)
 	}
 }

@@ -7,20 +7,31 @@
 //	experiments -instr 2000000          # longer windows, tighter numbers
 //	experiments -bench mcf,gzip,swim    # a benchmark subset
 //	experiments -j 8                    # eight simulations in flight
+//	experiments -metrics all.json       # raw series as a metrics tree
 //
 // Each experiment's benchmark × scheme grid runs across -j workers
 // (default: one per CPU); results are assembled in input order, so the
 // output is byte-identical to -j 1 for the same seed. Per-simulation
 // progress lines go to stderr (suppress with -progress=false).
 //
+// Ctrl-C cancels cleanly: in-flight simulations stop at their next
+// instruction checkpoint and the error reports which grid cells had
+// already finished. -simtimeout bounds each individual simulation.
+//
 // Output is the same row/series layout the paper's figures plot, plus a
 // note recording the shape the paper reports.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -31,22 +42,38 @@ func main() {
 	var (
 		exps     = flag.String("exp", "all", "comma-separated experiment ids (table1, fig4, fig7..fig16, ablation, ctxswitch, integrity, hybrid, seqsweep, valuepred) or 'all'")
 		instr    = flag.Uint64("instr", 0, "per-run instruction budget (0 = default)")
-		foot     = flag.Int("footprint", 0, "workload footprint in bytes (0 = default)")
+		foot     = flag.String("footprint", "", "workload footprint with optional K/M suffix, e.g. 8M (empty = default)")
 		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all 14)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		jobs     = flag.Int("j", 0, "concurrent simulations per sweep (0 = one per CPU)")
+		timeout  = flag.Duration("simtimeout", 0, "per-simulation deadline (0 = none), e.g. 30s")
+		metrics  = flag.String("metrics", "", "write every experiment's metrics snapshot to this path (JSON; a .csv suffix selects CSV; '-' = stdout)")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		progress = flag.Bool("progress", true, "print per-simulation progress/timing lines to stderr")
 	)
 	flag.Parse()
 
+	if *pprof != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: pprof:", err)
+			}
+		}()
+	}
+
 	opt := ctrpred.DefaultOptions()
 	opt.Seed = *seed
 	opt.Workers = *jobs
+	opt.SimTimeout = *timeout
 	if *instr != 0 {
 		opt.Scale.Instructions = *instr
 	}
-	if *foot != 0 {
-		opt.Scale.Footprint = *foot
+	if *foot != "" {
+		bytes, err := ctrpred.ParseSize(*foot)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Scale.Footprint = bytes
 	}
 	if *bench != "" {
 		benchmarks, err := splitValidated(*bench, ctrpred.Benchmarks(), "benchmark")
@@ -75,10 +102,19 @@ func main() {
 		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	root := ctrpred.Snapshot{Name: "experiments"}
 	for _, id := range ids {
 		start := time.Now()
-		res, err := ctrpred.RunExperiment(id, opt)
+		res, err := ctrpred.RunExperimentContext(ctx, id, opt)
 		if err != nil {
+			var pe *ctrpred.PartialError
+			if errors.As(err, &pe) {
+				fmt.Fprintf(os.Stderr, "experiments: %s interrupted: %v\n", id, pe.Cause)
+				fmt.Fprintf(os.Stderr, "  %d/%d simulations had finished\n", len(pe.Completed), pe.Total)
+			}
 			fatal(err)
 		}
 		fmt.Println(res.Table)
@@ -86,7 +122,38 @@ func main() {
 			fmt.Printf("paper shape: %s\n", res.Notes)
 		}
 		fmt.Printf("(%s regenerated in %.1fs)\n\n", res.ID, time.Since(start).Seconds())
+		if *metrics != "" {
+			root.Children = append(root.Children, res.Snapshot())
+		}
 	}
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, &root); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeMetrics serializes the snapshot to path: JSON by default, CSV when
+// the path ends in .csv, stdout when path is "-".
+func writeMetrics(path string, snap *ctrpred.Snapshot) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if strings.HasSuffix(path, ".csv") {
+		return snap.WriteCSV(w)
+	}
+	b, err := snap.JSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
 }
 
 // splitValidated splits a comma-separated flag value, trims whitespace,

@@ -14,8 +14,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	"ctrpred"
 	"ctrpred/internal/trace"
@@ -33,7 +31,7 @@ func main() {
 	)
 	flag.Parse()
 
-	footBytes, err := parseSize(*foot)
+	footBytes, err := ctrpred.ParseSize(*foot)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,9 +80,11 @@ func main() {
 // recordWorkload runs the benchmark in fast functional mode with a
 // reference sink streaming into the trace writer.
 func recordWorkload(tw *trace.Writer, bench string, footprint int, instructions, seed uint64) error {
-	cfg := ctrpred.DefaultConfig(ctrpred.SchemeBaseline()).WithMode(ctrpred.ModeHitRate)
-	cfg.Scale = ctrpred.Scale{Footprint: footprint, Instructions: instructions}
-	cfg.Seed = seed
+	cfg := ctrpred.DefaultConfig(ctrpred.SchemeBaseline()).
+		WithMode(ctrpred.ModeHitRate).
+		WithFootprint(footprint).
+		WithInstrBudget(instructions).
+		WithSeed(seed)
 	m, err := ctrpred.NewMachine(bench, cfg)
 	if err != nil {
 		return err
@@ -97,21 +97,6 @@ func recordWorkload(tw *trace.Writer, bench string, footprint int, instructions,
 	})
 	m.Run()
 	return sinkErr
-}
-
-func parseSize(s string) (int, error) {
-	mult := 1
-	switch {
-	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
-		mult, s = 1<<10, s[:len(s)-1]
-	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
-		mult, s = 1<<20, s[:len(s)-1]
-	}
-	v, err := strconv.Atoi(s)
-	if err != nil || v <= 0 {
-		return 0, fmt.Errorf("bad size %q", s)
-	}
-	return v * mult, nil
 }
 
 func fatal(err error) {

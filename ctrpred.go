@@ -33,10 +33,13 @@
 package ctrpred
 
 import (
+	"context"
+
 	"ctrpred/internal/experiments"
 	"ctrpred/internal/predictor"
 	"ctrpred/internal/runpool"
 	"ctrpred/internal/sim"
+	"ctrpred/internal/stats"
 	"ctrpred/internal/workload"
 )
 
@@ -69,6 +72,25 @@ type (
 	// RunUpdate reports one finished simulation of a parallel sweep to
 	// the ExperimentOptions.Progress callback.
 	RunUpdate = runpool.Update
+	// Snapshot is the structured metrics tree that Result.Snapshot and
+	// ExperimentResult.Snapshot export (deterministic JSON/CSV).
+	Snapshot = stats.Snapshot
+	// PartialError reports a sweep interrupted by context cancellation
+	// or deadline expiry; its Completed field lists the grid cells that
+	// finished. errors.Is(err, context.Canceled) matches through it.
+	PartialError = runpool.PartialError
+)
+
+// Sentinel errors for errors.Is dispatch. Run and RunExperiment wrap
+// these (with the offending name and the valid set) rather than
+// returning bare formatted strings.
+var (
+	// ErrUnknownBenchmark reports a benchmark name outside Benchmarks().
+	ErrUnknownBenchmark = workload.ErrUnknownBenchmark
+	// ErrUnknownExperiment reports an id outside ExperimentIDs().
+	ErrUnknownExperiment = experiments.ErrUnknownExperiment
+	// ErrUnknownScheme reports a scheme string ParseScheme cannot parse.
+	ErrUnknownScheme = sim.ErrUnknownScheme
 )
 
 // Simulation modes.
@@ -135,6 +157,24 @@ func BenchmarkCatalog() []BenchmarkInfo {
 // Run executes the named benchmark under cfg and returns its statistics.
 func Run(bench string, cfg Config) (Result, error) { return sim.Run(bench, cfg) }
 
+// RunContext is Run with cancellation: ctx is polled every
+// Config.CheckInterval committed instructions, so a cancel or deadline
+// lands within one checkpoint interval of simulated work. The partial
+// Result accumulated so far is returned alongside the context's error.
+// A run whose context is never cancelled is cycle-for-cycle identical
+// to Run.
+func RunContext(ctx context.Context, bench string, cfg Config) (Result, error) {
+	return sim.RunContext(ctx, bench, cfg)
+}
+
+// ParseScheme parses a scheme string ("baseline", "oracle", "direct",
+// "pred-regular", "pred-twolevel", "pred-context", "seqcache:<size>",
+// "combined:<size>"); unknown strings wrap ErrUnknownScheme.
+func ParseScheme(s string) (Scheme, error) { return sim.ParseScheme(s) }
+
+// ParseSize parses a capacity with an optional K/M suffix ("32K", "1M").
+func ParseSize(s string) (int, error) { return sim.ParseSize(s) }
+
 // NewMachine assembles a simulator without running it, for callers that
 // want to inspect or drive components directly.
 func NewMachine(bench string, cfg Config) (*Machine, error) {
@@ -153,7 +193,17 @@ func DefaultOptions() ExperimentOptions { return experiments.DefaultOptions() }
 // results are assembled in input order, making the output byte-identical
 // for any worker count at a given seed.
 func RunExperiment(id string, opt ExperimentOptions) (ExperimentResult, error) {
-	return experiments.ByID(id, opt)
+	return experiments.ByID(context.Background(), id, opt)
+}
+
+// RunExperimentContext is RunExperiment with cancellation: the context
+// stops the sweep between simulations and — via the per-run instruction
+// checkpoints — inside them. On interruption the error wraps the
+// context's error and, as a *PartialError, lists which grid cells had
+// already finished. opt.SimTimeout additionally bounds every individual
+// simulation with its own deadline.
+func RunExperimentContext(ctx context.Context, id string, opt ExperimentOptions) (ExperimentResult, error) {
+	return experiments.ByID(ctx, id, opt)
 }
 
 // ExperimentIDs lists every regenerable table/figure id in paper order.

@@ -1,6 +1,10 @@
 package ctrpred
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"testing"
+)
 
 func quickConfig(s Scheme) Config {
 	cfg := DefaultConfig(s)
@@ -66,6 +70,51 @@ func TestFacadeExperiment(t *testing.T) {
 	}
 	if len(ExperimentIDs()) != 18 {
 		t.Fatalf("ExperimentIDs() = %d", len(ExperimentIDs()))
+	}
+}
+
+func TestFacadeSentinels(t *testing.T) {
+	if _, err := Run("nonesuch", quickConfig(SchemeBaseline())); !errors.Is(err, ErrUnknownBenchmark) {
+		t.Fatalf("Run(nonesuch) = %v, want errors.Is(err, ErrUnknownBenchmark)", err)
+	}
+	if _, err := RunExperiment("bogus", DefaultOptions()); !errors.Is(err, ErrUnknownExperiment) {
+		t.Fatalf("RunExperiment(bogus) = %v, want errors.Is(err, ErrUnknownExperiment)", err)
+	}
+	if _, err := ParseScheme("frob"); !errors.Is(err, ErrUnknownScheme) {
+		t.Fatalf("ParseScheme(frob) = %v, want errors.Is(err, ErrUnknownScheme)", err)
+	}
+}
+
+func TestFacadeRunContext(t *testing.T) {
+	res, err := RunContext(context.Background(), "mcf", quickConfig(SchemeBaseline()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPU.Instructions == 0 {
+		t.Fatal("RunContext executed nothing")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, "mcf", quickConfig(SchemeBaseline())); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunContext = %v, want context.Canceled", err)
+	}
+}
+
+func TestFacadeSnapshot(t *testing.T) {
+	res, err := Run("mcf", quickConfig(SchemePred(PredRegular)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Snapshot()
+	cpu := snap.Lookup("cpu")
+	if cpu == nil {
+		t.Fatal("snapshot missing cpu node")
+	}
+	if v, ok := cpu.CounterValue("instructions"); !ok || v != res.CPU.Instructions {
+		t.Fatalf("snapshot instructions = %d, %v; want %d", v, ok, res.CPU.Instructions)
+	}
+	if _, err := snap.JSON(); err != nil {
+		t.Fatal(err)
 	}
 }
 

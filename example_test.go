@@ -1,6 +1,8 @@
 package ctrpred_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"ctrpred"
@@ -33,6 +35,30 @@ func ExampleRun() {
 	// scheme: pred-regular
 	// pad reuse: 0
 	// self-check failures: 0
+}
+
+// ExampleRunContext shows the cancellable interface: the context is
+// polled at instruction checkpoints inside the simulation, so a cancel
+// or deadline stops the run within one Config.CheckInterval of
+// simulated work rather than at run granularity.
+func ExampleRunContext() {
+	cfg := exampleConfig(ctrpred.SchemeBaseline())
+
+	// A live context behaves exactly like Run.
+	res, err := ctrpred.RunContext(context.Background(), "mcf", cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("completed:", res.CPU.Instructions >= cfg.Scale.Instructions)
+
+	// A cancelled context stops the simulation and reports why.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = ctrpred.RunContext(ctx, "mcf", cfg)
+	fmt.Println("cancelled run returns context.Canceled:", errors.Is(err, context.Canceled))
+	// Output:
+	// completed: true
+	// cancelled run returns context.Canceled: true
 }
 
 // ExampleSchemePred shows how the canonical schemes are constructed and

@@ -10,7 +10,11 @@
 // — is owned by the L2, as in the paper's secure-processor boundary.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"ctrpred/internal/stats"
+)
 
 // Config describes one cache.
 type Config struct {
@@ -58,6 +62,16 @@ func (s Stats) HitRate() float64 {
 		return 0
 	}
 	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// AddTo registers the cache's counters into a metrics snapshot node.
+func (s Stats) AddTo(n *stats.Snapshot) {
+	n.Counter("accesses", s.Accesses)
+	n.Counter("hits", s.Hits)
+	n.Counter("misses", s.Misses)
+	n.Counter("evictions", s.Evictions)
+	n.Counter("dirty_evictions", s.DirtyEvictions)
+	n.Value("hit_rate", s.HitRate())
 }
 
 type line struct {

@@ -34,6 +34,7 @@ import (
 	"ctrpred/internal/isa"
 	"ctrpred/internal/mem"
 	"ctrpred/internal/memsys"
+	"ctrpred/internal/stats"
 )
 
 // Config holds the core parameters (Table 1 defaults via DefaultConfig).
@@ -114,6 +115,19 @@ func (s Stats) IPC() float64 {
 	return float64(s.Instructions) / float64(s.Cycles)
 }
 
+// AddTo registers the core's counters into a metrics snapshot node.
+func (s Stats) AddTo(n *stats.Snapshot) {
+	n.Counter("instructions", s.Instructions)
+	n.Counter("cycles", s.Cycles)
+	n.Counter("loads", s.Loads)
+	n.Counter("stores", s.Stores)
+	n.Counter("branches", s.Branches)
+	n.Counter("mispredicts", s.Mispredicts)
+	n.Counter("lvp_hits", s.LVPHits)
+	n.Counter("lvp_misses", s.LVPMisses)
+	n.Value("ipc", s.IPC())
+}
+
 // Core is one processor instance bound to a program, architectural
 // memory, and a memory hierarchy.
 type Core struct {
@@ -142,6 +156,13 @@ type Core struct {
 	issuedAt      uint64
 	issuedCount   int
 	fu            map[isa.Class][]uint64 // per-class unit free times
+
+	// Checkpoint state: check is consulted every checkEvery committed
+	// instructions; a non-nil return stops the run (see SetCheckpoint).
+	check      func() error
+	checkEvery uint64
+	nextCheck  uint64
+	stopCause  error
 
 	stats Stats
 }
@@ -235,11 +256,48 @@ func (c *Core) reserveFU(cl isa.Class, ready, busy uint64) uint64 {
 	return start
 }
 
+// SetCheckpoint arranges for fn to be called every interval committed
+// instructions during Run/RunFunctional. If fn returns a non-nil error
+// the run stops within that interval; the error is available from
+// StopCause. A nil fn removes the checkpoint. The checkpoint only reads
+// state, so a run whose checkpoint never fires is cycle-for-cycle
+// identical to one without it.
+func (c *Core) SetCheckpoint(interval uint64, fn func() error) {
+	if fn == nil || interval == 0 {
+		c.check, c.checkEvery = nil, 0
+		return
+	}
+	c.check = fn
+	c.checkEvery = interval
+	c.nextCheck = c.stats.Instructions + interval
+}
+
+// StopCause returns the checkpoint error that interrupted the run, or
+// nil if the run ended by halting or exhausting its budget.
+func (c *Core) StopCause() error { return c.stopCause }
+
+// checkpoint polls the registered checkpoint function; it reports true
+// when the run must stop.
+func (c *Core) checkpoint() bool {
+	if c.check == nil || c.stats.Instructions < c.nextCheck {
+		return false
+	}
+	c.nextCheck = c.stats.Instructions + c.checkEvery
+	if err := c.check(); err != nil {
+		c.stopCause = err
+		return true
+	}
+	return false
+}
+
 // Run executes until halt or until maxInstructions commit, and returns
 // the final statistics. maxInstructions == 0 means run to halt.
 func (c *Core) Run(maxInstructions uint64) Stats {
 	for !c.halted && (maxInstructions == 0 || c.stats.Instructions < maxInstructions) {
 		c.step()
+		if c.checkpoint() {
+			break
+		}
 	}
 	if c.sys != nil {
 		// Writebacks of still-dirty lines belong to the measured region.

@@ -50,6 +50,9 @@ func (c *Core) RunFunctional(maxInstructions uint64) Stats {
 		if in.Op == isa.OpHalt {
 			c.halted = true
 		}
+		if c.checkpoint() {
+			break
+		}
 	}
 	c.lastCommit = now
 	if c.sys != nil {

@@ -17,6 +17,7 @@ package cryptoengine
 
 import (
 	"ctrpred/internal/ctr"
+	"ctrpred/internal/stats"
 )
 
 // Config holds the engine's timing parameters.
@@ -65,6 +66,10 @@ type Stats struct {
 	Issued      [numClasses]uint64 // requests issued per class
 	StallCycles uint64             // cycles requests waited for an issue slot
 	LastBusy    uint64             // last cycle at which the pipe had work
+	// QueueWait is the distribution of cycles each request waited for an
+	// issue slot — the observable face of pipeline occupancy: a busy
+	// pipe (e.g. an over-aggressive predictor) shows up as a heavy tail.
+	QueueWait *stats.Histogram
 }
 
 // IssuedTotal returns the total number of issued requests.
@@ -74,6 +79,17 @@ func (s *Stats) IssuedTotal() uint64 {
 		t += v
 	}
 	return t
+}
+
+// AddTo registers the engine's statistics into a metrics snapshot node.
+func (s *Stats) AddTo(n *stats.Snapshot) {
+	for c := Class(0); c < numClasses; c++ {
+		n.Counter("issued_"+c.String(), s.Issued[c])
+	}
+	n.Counter("issued_total", s.IssuedTotal())
+	n.Counter("stall_cycles", s.StallCycles)
+	n.Counter("last_busy", s.LastBusy)
+	n.Histogram("queue_wait", s.QueueWait)
 }
 
 // Engine is the pipelined AES pad engine.
@@ -96,7 +112,9 @@ func New(cfg Config, ks *ctr.Keystream) *Engine {
 	if cfg.IssuePerCycle <= 0 {
 		cfg.IssuePerCycle = 1
 	}
-	return &Engine{cfg: cfg, ks: ks}
+	e := &Engine{cfg: cfg, ks: ks}
+	e.stats.QueueWait = stats.NewHistogram(0, 1, 2, 4, 8, 16, 32, 64, 128)
+	return e
 }
 
 // Config returns the engine's configuration.
@@ -150,6 +168,7 @@ func (e *Engine) reserveSlot(now uint64) uint64 {
 		e.nextIssue = start + 1
 		e.issuedThisCycle = 0
 	}
+	e.stats.QueueWait.Observe(start - now)
 	return start
 }
 

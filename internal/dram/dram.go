@@ -11,6 +11,8 @@
 // BusRatio CPU cycles).
 package dram
 
+import "ctrpred/internal/stats"
+
 // Config describes the DRAM channel.
 type Config struct {
 	Banks    int    // number of banks (power of two)
@@ -58,6 +60,16 @@ type Stats struct {
 	RowMisses    uint64
 	RowConflicts uint64
 	BusBusy      uint64 // total CPU cycles of data-bus occupancy
+}
+
+// AddTo registers the channel's counters into a metrics snapshot node.
+func (s Stats) AddTo(n *stats.Snapshot) {
+	n.Counter("reads", s.Reads)
+	n.Counter("writes", s.Writes)
+	n.Counter("row_hits", s.RowHits)
+	n.Counter("row_misses", s.RowMisses)
+	n.Counter("row_conflicts", s.RowConflicts)
+	n.Counter("bus_busy_cycles", s.BusBusy)
 }
 
 type bank struct {

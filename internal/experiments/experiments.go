@@ -13,8 +13,11 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"ctrpred/internal/predictor"
 	"ctrpred/internal/runpool"
@@ -22,6 +25,10 @@ import (
 	"ctrpred/internal/stats"
 	"ctrpred/internal/workload"
 )
+
+// ErrUnknownExperiment reports an experiment identifier outside IDs();
+// match it with errors.Is after ByID.
+var ErrUnknownExperiment = errors.New("unknown experiment")
 
 // Options scales and scopes an experiment run.
 type Options struct {
@@ -39,6 +46,11 @@ type Options struct {
 	// Progress, when non-nil, receives one update per finished
 	// simulation (serialized, in completion order).
 	Progress func(runpool.Update)
+	// SimTimeout, when positive, bounds each individual simulation with
+	// its own deadline (context.WithTimeout around every grid cell). A
+	// cell that exceeds it fails with context.DeadlineExceeded without
+	// cancelling the rest of the sweep's context.
+	SimTimeout time.Duration
 }
 
 // DefaultOptions runs every benchmark at a budget that completes each
@@ -84,20 +96,50 @@ type Result struct {
 	Notes string
 }
 
+// Snapshot exports the figure's raw numbers as a structured metrics
+// tree: one child per series, one value per benchmark. Export order is
+// deterministic (sorted by name) regardless of worker count.
+func (r Result) Snapshot() *stats.Snapshot {
+	n := stats.NewSnapshot("experiment")
+	n.Label("id", r.ID)
+	n.Label("title", r.Title)
+	if r.Notes != "" {
+		n.Label("notes", r.Notes)
+	}
+	for series, points := range r.Series {
+		c := n.Child(series)
+		for bench, v := range points {
+			c.Value(bench, v)
+		}
+	}
+	return n
+}
+
 // runner abstracts "run benchmark b under scheme s and return the value
 // this figure plots". col is the scheme's column index, for figures
 // whose columns vary something besides the scheme (Figure 14's L2 size).
-type runner func(bench string, col int, scheme sim.Scheme) (float64, error)
+type runner func(ctx context.Context, bench string, col int, scheme sim.Scheme) (float64, error)
 
 // pool adapts the experiment options to the run scheduler.
 func (o Options) pool() runpool.Options {
 	return runpool.Options{Workers: o.Workers, Progress: o.Progress}
 }
 
+// runSim runs one simulation under ctx, applying the per-simulation
+// deadline from Options.SimTimeout when one is set.
+func (o Options) runSim(ctx context.Context, bench string, cfg sim.Config) (sim.Result, error) {
+	if o.SimTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.SimTimeout)
+		defer cancel()
+	}
+	return sim.RunContext(ctx, bench, cfg)
+}
+
 // sweep runs every benchmark × scheme pair — in parallel across the
 // worker pool — and assembles the table in input order, so the result is
 // identical to a sequential sweep of the same seed.
-func sweep(id, title, notes string, opt Options, schemes []sim.Scheme, colNames []string, run runner) (Result, error) {
+func sweep(ctx context.Context, id, title, notes string, opt Options, schemes []sim.Scheme, colNames []string, run runner) (Result, error) {
 	opt = opt.normalized()
 	res := Result{
 		ID:     id,
@@ -118,8 +160,8 @@ func sweep(id, title, notes string, opt Options, schemes []sim.Scheme, colNames 
 		for i, sch := range schemes {
 			jobs = append(jobs, runpool.Job[float64]{
 				Label: fmt.Sprintf("%s %s/%s", id, bench, sch.Name),
-				Fn: func() (float64, error) {
-					v, err := run(bench, i, sch)
+				Fn: func(ctx context.Context) (float64, error) {
+					v, err := run(ctx, bench, i, sch)
 					if err != nil {
 						return 0, fmt.Errorf("%s: %s/%s: %w", id, bench, sch.Name, err)
 					}
@@ -128,7 +170,7 @@ func sweep(id, title, notes string, opt Options, schemes []sim.Scheme, colNames 
 			})
 		}
 	}
-	vals, err := runpool.Run(opt.pool(), jobs)
+	vals, err := runpool.RunContext(ctx, opt.pool(), jobs)
 	if err != nil {
 		return Result{}, err
 	}
@@ -158,13 +200,13 @@ func sweep(id, title, notes string, opt Options, schemes []sim.Scheme, colNames 
 // oracleBaselines runs the oracle scheme for every benchmark across the
 // pool and returns benchmark → IPC, the denominator of the normalized-IPC
 // figures.
-func oracleBaselines(opt Options, l2 int) (map[string]float64, error) {
+func oracleBaselines(ctx context.Context, opt Options, l2 int) (map[string]float64, error) {
 	jobs := make([]runpool.Job[float64], len(opt.Benchmarks))
 	for i, bench := range opt.Benchmarks {
 		jobs[i] = runpool.Job[float64]{
 			Label: fmt.Sprintf("oracle baseline %s", bench),
-			Fn: func() (float64, error) {
-				r, err := sim.Run(bench, perfConfig(opt, sim.SchemeOracle(), l2))
+			Fn: func(ctx context.Context) (float64, error) {
+				r, err := opt.runSim(ctx, bench, perfConfig(opt, sim.SchemeOracle(), l2))
 				if err != nil {
 					return 0, err
 				}
@@ -172,7 +214,7 @@ func oracleBaselines(opt Options, l2 int) (map[string]float64, error) {
 			},
 		}
 	}
-	vals, err := runpool.Run(opt.pool(), jobs)
+	vals, err := runpool.RunContext(ctx, opt.pool(), jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +256,7 @@ func perfConfig(opt Options, scheme sim.Scheme, l2 int) sim.Config {
 
 // hitRateFigure produces Figures 7/8: seq-cache hit rate vs prediction
 // rate, as a fraction of L2-miss fetches whose counter was covered.
-func hitRateFigure(id string, l2 int, opt Options) (Result, error) {
+func hitRateFigure(ctx context.Context, id string, l2 int, opt Options) (Result, error) {
 	schemes := []sim.Scheme{
 		sim.SchemeSeqCache(128 << 10),
 		sim.SchemeSeqCache(512 << 10),
@@ -223,8 +265,8 @@ func hitRateFigure(id string, l2 int, opt Options) (Result, error) {
 	cols := []string{"128K_Seq#_Cache", "512K_Seq#_Cache", "Pred"}
 	title := fmt.Sprintf("Sequence Number Hit Rates, %s L2", l2Name(l2))
 	notes := "Paper: Pred ≈ 0.82 average (0.80 at 1MB), above both 128KB and 512KB sequence-number caches."
-	return sweep(id, title, notes, opt, schemes, cols, func(bench string, _ int, sch sim.Scheme) (float64, error) {
-		res, err := sim.Run(bench, hitRateConfig(opt, sch, l2))
+	return sweep(ctx, id, title, notes, opt, schemes, cols, func(ctx context.Context, bench string, _ int, sch sim.Scheme) (float64, error) {
+		res, err := opt.runSim(ctx, bench, hitRateConfig(opt, sch, l2))
 		if err != nil {
 			return 0, err
 		}
@@ -236,15 +278,19 @@ func hitRateFigure(id string, l2 int, opt Options) (Result, error) {
 }
 
 // Figure7 regenerates Figure 7 (256 KB L2).
-func Figure7(opt Options) (Result, error) { return hitRateFigure("Figure 7", 256<<10, opt) }
+func Figure7(ctx context.Context, opt Options) (Result, error) {
+	return hitRateFigure(ctx, "Figure 7", 256<<10, opt)
+}
 
 // Figure8 regenerates Figure 8 (1 MB L2).
-func Figure8(opt Options) (Result, error) { return hitRateFigure("Figure 8", 1<<20, opt) }
+func Figure8(ctx context.Context, opt Options) (Result, error) {
+	return hitRateFigure(ctx, "Figure 8", 1<<20, opt)
+}
 
 // Figure9 regenerates Figure 9: the breakdown of counter coverage with a
 // 32 KB sequence-number cache combined with prediction — hits covered by
 // both mechanisms, by prediction only, and by the cache only.
-func Figure9(opt Options) (Result, error) {
+func Figure9(ctx context.Context, opt Options) (Result, error) {
 	opt = opt.normalized()
 	res := Result{
 		ID:     "Figure 9",
@@ -259,9 +305,9 @@ func Figure9(opt Options) (Result, error) {
 	for i, bench := range benchmarks {
 		jobs[i] = runpool.Job[[3]float64]{
 			Label: fmt.Sprintf("Figure 9 %s", bench),
-			Fn: func() ([3]float64, error) {
+			Fn: func(ctx context.Context) ([3]float64, error) {
 				cfg := hitRateConfig(opt, sim.SchemeCombined(32<<10, predictor.SchemeRegular), 256<<10)
-				r, err := sim.Run(bench, cfg)
+				r, err := opt.runSim(ctx, bench, cfg)
 				if err != nil {
 					return [3]float64{}, err
 				}
@@ -276,7 +322,7 @@ func Figure9(opt Options) (Result, error) {
 			},
 		}
 	}
-	vals, err := runpool.Run(opt.pool(), jobs)
+	vals, err := runpool.RunContext(ctx, opt.pool(), jobs)
 	if err != nil {
 		return Result{}, err
 	}
@@ -301,7 +347,7 @@ func Figure9(opt Options) (Result, error) {
 
 // ipcFigure produces Figures 10/11: IPC normalized to the oracle, for
 // three sequence-number cache sizes vs adaptive prediction.
-func ipcFigure(id string, l2 int, opt Options) (Result, error) {
+func ipcFigure(ctx context.Context, id string, l2 int, opt Options) (Result, error) {
 	opt = opt.normalized()
 	schemes := []sim.Scheme{
 		sim.SchemeSeqCache(4 << 10),
@@ -312,12 +358,12 @@ func ipcFigure(id string, l2 int, opt Options) (Result, error) {
 	cols := []string{"Seq_Cache_4K", "Seq_Cache_128K", "Seq_Cache_512K", "Pred"}
 	title := fmt.Sprintf("Normalized IPC (oracle=1.0), %s L2", l2Name(l2))
 	notes := "Paper: Pred outperforms every cache size on average; gains of 15–40% over small caches on memory-bound programs."
-	oracleIPC, err := oracleBaselines(opt, l2)
+	oracleIPC, err := oracleBaselines(ctx, opt, l2)
 	if err != nil {
 		return Result{}, err
 	}
-	return sweep(id, title, notes, opt, schemes, cols, func(bench string, _ int, sch sim.Scheme) (float64, error) {
-		r, err := sim.Run(bench, perfConfig(opt, sch, l2))
+	return sweep(ctx, id, title, notes, opt, schemes, cols, func(ctx context.Context, bench string, _ int, sch sim.Scheme) (float64, error) {
+		r, err := opt.runSim(ctx, bench, perfConfig(opt, sch, l2))
 		if err != nil {
 			return 0, err
 		}
@@ -330,14 +376,18 @@ func ipcFigure(id string, l2 int, opt Options) (Result, error) {
 }
 
 // Figure10 regenerates Figure 10 (normalized IPC, 256 KB L2).
-func Figure10(opt Options) (Result, error) { return ipcFigure("Figure 10", 256<<10, opt) }
+func Figure10(ctx context.Context, opt Options) (Result, error) {
+	return ipcFigure(ctx, "Figure 10", 256<<10, opt)
+}
 
 // Figure11 regenerates Figure 11 (normalized IPC, 1 MB L2).
-func Figure11(opt Options) (Result, error) { return ipcFigure("Figure 11", 1<<20, opt) }
+func Figure11(ctx context.Context, opt Options) (Result, error) {
+	return ipcFigure(ctx, "Figure 11", 1<<20, opt)
+}
 
 // optHitRateFigure produces Figures 12/13: regular vs two-level vs
 // context-based prediction rates.
-func optHitRateFigure(id string, l2 int, opt Options) (Result, error) {
+func optHitRateFigure(ctx context.Context, id string, l2 int, opt Options) (Result, error) {
 	schemes := []sim.Scheme{
 		sim.SchemePred(predictor.SchemeRegular),
 		sim.SchemePred(predictor.SchemeTwoLevel),
@@ -346,8 +396,8 @@ func optHitRateFigure(id string, l2 int, opt Options) (Result, error) {
 	cols := []string{"Regular", "Two-level", "Context"}
 	title := fmt.Sprintf("Prediction Rate of Two-level and Context-based vs Regular, %s L2", l2Name(l2))
 	notes := "Paper: regular ≈ 0.82, two-level ≈ 0.96, context ≈ 0.99 (256KB L2)."
-	return sweep(id, title, notes, opt, schemes, cols, func(bench string, _ int, sch sim.Scheme) (float64, error) {
-		res, err := sim.Run(bench, hitRateConfig(opt, sch, l2))
+	return sweep(ctx, id, title, notes, opt, schemes, cols, func(ctx context.Context, bench string, _ int, sch sim.Scheme) (float64, error) {
+		res, err := opt.runSim(ctx, bench, hitRateConfig(opt, sch, l2))
 		if err != nil {
 			return 0, err
 		}
@@ -356,14 +406,18 @@ func optHitRateFigure(id string, l2 int, opt Options) (Result, error) {
 }
 
 // Figure12 regenerates Figure 12 (optimized prediction rates, 256 KB L2).
-func Figure12(opt Options) (Result, error) { return optHitRateFigure("Figure 12", 256<<10, opt) }
+func Figure12(ctx context.Context, opt Options) (Result, error) {
+	return optHitRateFigure(ctx, "Figure 12", 256<<10, opt)
+}
 
 // Figure13 regenerates Figure 13 (optimized prediction rates, 1 MB L2).
-func Figure13(opt Options) (Result, error) { return optHitRateFigure("Figure 13", 1<<20, opt) }
+func Figure13(ctx context.Context, opt Options) (Result, error) {
+	return optHitRateFigure(ctx, "Figure 13", 1<<20, opt)
+}
 
 // Figure14 regenerates Figure 14: the absolute number of predictions
 // (speculative pad requests) issued under each L2 size.
-func Figure14(opt Options) (Result, error) {
+func Figure14(ctx context.Context, opt Options) (Result, error) {
 	schemes := []sim.Scheme{
 		sim.SchemePred(predictor.SchemeContext),
 		sim.SchemePred(predictor.SchemeContext),
@@ -372,8 +426,8 @@ func Figure14(opt Options) (Result, error) {
 	l2s := []int{256 << 10, 1 << 20}
 	title := "Number of Predictions under 256KB vs 1MB L2 (context-based)"
 	notes := "Paper: larger L2 ⇒ fewer misses ⇒ far fewer predictions."
-	return sweep("Figure 14", title, notes, opt, schemes, cols, func(bench string, col int, sch sim.Scheme) (float64, error) {
-		res, err := sim.Run(bench, hitRateConfig(opt, sch, l2s[col]))
+	return sweep(ctx, "Figure 14", title, notes, opt, schemes, cols, func(ctx context.Context, bench string, col int, sch sim.Scheme) (float64, error) {
+		res, err := opt.runSim(ctx, bench, hitRateConfig(opt, sch, l2s[col]))
 		if err != nil {
 			return 0, err
 		}
@@ -383,7 +437,7 @@ func Figure14(opt Options) (Result, error) {
 
 // optIPCFigure produces Figures 15/16: normalized IPC of the optimized
 // predictors vs the regular one.
-func optIPCFigure(id string, l2 int, opt Options) (Result, error) {
+func optIPCFigure(ctx context.Context, id string, l2 int, opt Options) (Result, error) {
 	opt = opt.normalized()
 	schemes := []sim.Scheme{
 		sim.SchemePred(predictor.SchemeRegular),
@@ -393,12 +447,12 @@ func optIPCFigure(id string, l2 int, opt Options) (Result, error) {
 	cols := []string{"Regular", "Two-level", "Context"}
 	title := fmt.Sprintf("Normalized IPC of Two-level and Context-based vs Regular, %s L2", l2Name(l2))
 	notes := "Paper: up to ~7% additional IPC over regular prediction; context ≥ two-level for most programs."
-	oracleIPC, err := oracleBaselines(opt, l2)
+	oracleIPC, err := oracleBaselines(ctx, opt, l2)
 	if err != nil {
 		return Result{}, err
 	}
-	return sweep(id, title, notes, opt, schemes, cols, func(bench string, _ int, sch sim.Scheme) (float64, error) {
-		r, err := sim.Run(bench, perfConfig(opt, sch, l2))
+	return sweep(ctx, id, title, notes, opt, schemes, cols, func(ctx context.Context, bench string, _ int, sch sim.Scheme) (float64, error) {
+		r, err := opt.runSim(ctx, bench, perfConfig(opt, sch, l2))
 		if err != nil {
 			return 0, err
 		}
@@ -411,10 +465,14 @@ func optIPCFigure(id string, l2 int, opt Options) (Result, error) {
 }
 
 // Figure15 regenerates Figure 15 (optimized normalized IPC, 256 KB L2).
-func Figure15(opt Options) (Result, error) { return optIPCFigure("Figure 15", 256<<10, opt) }
+func Figure15(ctx context.Context, opt Options) (Result, error) {
+	return optIPCFigure(ctx, "Figure 15", 256<<10, opt)
+}
 
 // Figure16 regenerates Figure 16 (optimized normalized IPC, 1 MB L2).
-func Figure16(opt Options) (Result, error) { return optIPCFigure("Figure 16", 1<<20, opt) }
+func Figure16(ctx context.Context, opt Options) (Result, error) {
+	return optIPCFigure(ctx, "Figure 16", 1<<20, opt)
+}
 
 func l2Name(l2 int) string {
 	if l2 >= 1<<20 {
@@ -424,47 +482,48 @@ func l2Name(l2 int) string {
 }
 
 // ByID runs the experiment with the given identifier ("table1", "fig4",
-// "fig7" … "fig16", "ablation").
-func ByID(id string, opt Options) (Result, error) {
+// "fig7" … "fig16", "ablation"). The context cancels the sweep between
+// simulations and, via sim checkpoints, inside them.
+func ByID(ctx context.Context, id string, opt Options) (Result, error) {
 	switch id {
 	case "table1":
 		return Table1(), nil
 	case "fig4":
-		return Figure4Timeline(opt)
+		return Figure4Timeline(ctx, opt)
 	case "fig7":
-		return Figure7(opt)
+		return Figure7(ctx, opt)
 	case "fig8":
-		return Figure8(opt)
+		return Figure8(ctx, opt)
 	case "fig9":
-		return Figure9(opt)
+		return Figure9(ctx, opt)
 	case "fig10":
-		return Figure10(opt)
+		return Figure10(ctx, opt)
 	case "fig11":
-		return Figure11(opt)
+		return Figure11(ctx, opt)
 	case "fig12":
-		return Figure12(opt)
+		return Figure12(ctx, opt)
 	case "fig13":
-		return Figure13(opt)
+		return Figure13(ctx, opt)
 	case "fig14":
-		return Figure14(opt)
+		return Figure14(ctx, opt)
 	case "fig15":
-		return Figure15(opt)
+		return Figure15(ctx, opt)
 	case "fig16":
-		return Figure16(opt)
+		return Figure16(ctx, opt)
 	case "ablation":
-		return Ablation(opt)
+		return Ablation(ctx, opt)
 	case "ctxswitch":
-		return ContextSwitch(opt)
+		return ContextSwitch(ctx, opt)
 	case "integrity":
-		return Integrity(opt)
+		return Integrity(ctx, opt)
 	case "hybrid":
-		return Hybrid(opt)
+		return Hybrid(ctx, opt)
 	case "seqsweep":
-		return SeqCacheSweep(opt)
+		return SeqCacheSweep(ctx, opt)
 	case "valuepred":
-		return ValuePrediction(opt)
+		return ValuePrediction(ctx, opt)
 	}
-	return Result{}, fmt.Errorf("experiments: unknown experiment %q (want table1, fig4, fig7..fig16, ablation, ctxswitch, integrity, hybrid, seqsweep, valuepred)", id)
+	return Result{}, fmt.Errorf("experiments: %w %q (want table1, fig4, fig7..fig16, ablation, ctxswitch, integrity, hybrid, seqsweep, valuepred)", ErrUnknownExperiment, id)
 }
 
 // IDs lists every experiment identifier in paper order.

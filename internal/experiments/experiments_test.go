@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -24,8 +26,8 @@ func TestIDsRoundTrip(t *testing.T) {
 			continue // no sim needed
 		}
 	}
-	if _, err := ByID("bogus", quickOpts()); err == nil {
-		t.Fatal("unknown experiment id accepted")
+	if _, err := ByID(context.Background(), "bogus", quickOpts()); !errors.Is(err, ErrUnknownExperiment) {
+		t.Fatalf("ByID(bogus) = %v, want errors.Is(err, ErrUnknownExperiment)", err)
 	}
 	if len(IDs()) != 18 {
 		t.Fatalf("IDs() has %d entries", len(IDs()))
@@ -43,7 +45,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestFigure4Timeline(t *testing.T) {
-	res, err := Figure4Timeline(quickOpts())
+	res, err := Figure4Timeline(context.Background(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +62,7 @@ func TestFigure4Timeline(t *testing.T) {
 }
 
 func TestFigure7Shape(t *testing.T) {
-	res, err := Figure7(quickOpts())
+	res, err := Figure7(context.Background(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +81,7 @@ func TestFigure7Shape(t *testing.T) {
 }
 
 func TestFigure9Shape(t *testing.T) {
-	res, err := Figure9(quickOpts())
+	res, err := Figure9(context.Background(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +96,7 @@ func TestFigure9Shape(t *testing.T) {
 func TestFigure10Shape(t *testing.T) {
 	opt := quickOpts()
 	opt.Benchmarks = []string{"mcf"} // keep the perf-mode run count low
-	res, err := Figure10(opt)
+	res, err := Figure10(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +113,7 @@ func TestFigure10Shape(t *testing.T) {
 }
 
 func TestFigure12Shape(t *testing.T) {
-	res, err := Figure12(quickOpts())
+	res, err := Figure12(context.Background(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +129,7 @@ func TestFigure12Shape(t *testing.T) {
 }
 
 func TestFigure14Shape(t *testing.T) {
-	res, err := Figure14(quickOpts())
+	res, err := Figure14(context.Background(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +143,7 @@ func TestFigure14Shape(t *testing.T) {
 func TestAblationShape(t *testing.T) {
 	opt := quickOpts()
 	opt.Benchmarks = []string{"gzip", "mcf"}
-	res, err := Ablation(opt)
+	res, err := Ablation(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +162,7 @@ func TestAblationShape(t *testing.T) {
 func TestContextSwitchShape(t *testing.T) {
 	opt := quickOpts()
 	opt.Benchmarks = []string{"mcf", "vpr"}
-	res, err := ContextSwitch(opt)
+	res, err := ContextSwitch(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +184,7 @@ func TestContextSwitchShape(t *testing.T) {
 func TestIntegrityShape(t *testing.T) {
 	opt := quickOpts()
 	opt.Benchmarks = []string{"mcf"}
-	res, err := Integrity(opt)
+	res, err := Integrity(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +201,7 @@ func TestIntegrityShape(t *testing.T) {
 func TestHybridShape(t *testing.T) {
 	opt := quickOpts()
 	opt.Benchmarks = []string{"mcf"}
-	res, err := Hybrid(opt)
+	res, err := Hybrid(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +217,7 @@ func TestHybridShape(t *testing.T) {
 func TestSeqCacheSweepShape(t *testing.T) {
 	opt := quickOpts()
 	opt.Benchmarks = []string{"mcf", "vpr"}
-	res, err := SeqCacheSweep(opt)
+	res, err := SeqCacheSweep(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +235,7 @@ func TestSeqCacheSweepShape(t *testing.T) {
 func TestValuePredictionShape(t *testing.T) {
 	opt := quickOpts()
 	opt.Benchmarks = []string{"mcf"}
-	res, err := ValuePrediction(opt)
+	res, err := ValuePrediction(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ctrpred/internal/predictor"
@@ -37,7 +38,7 @@ func meanRatios(rs []ratio) float64 {
 // context) survives a switch. The experiment sweeps the switch interval
 // and reports the counter coverage of a 128 KB cache vs regular
 // prediction, averaged over the benchmark set.
-func ContextSwitch(opt Options) (Result, error) {
+func ContextSwitch(ctx context.Context, opt Options) (Result, error) {
 	opt = opt.normalized()
 	res := Result{
 		ID:     "ContextSwitch",
@@ -67,10 +68,10 @@ func ContextSwitch(opt Options) (Result, error) {
 			for _, bench := range opt.Benchmarks {
 				jobs = append(jobs, runpool.Job[float64]{
 					Label: fmt.Sprintf("ContextSwitch %s %s/%s", iv.name, bench, sch.Name),
-					Fn: func() (float64, error) {
+					Fn: func(ctx context.Context) (float64, error) {
 						cfg := hitRateConfig(opt, sch, 256<<10)
 						cfg.Mem.ContextSwitchInterval = iv.cycles(cfg.Scale.Instructions)
-						r, err := sim.Run(bench, cfg)
+						r, err := opt.runSim(ctx, bench, cfg)
 						if err != nil {
 							return 0, fmt.Errorf("ctxswitch %s/%s: %w", iv.name, bench, err)
 						}
@@ -83,7 +84,7 @@ func ContextSwitch(opt Options) (Result, error) {
 			}
 		}
 	}
-	covered, err := runpool.Run(opt.pool(), jobs)
+	covered, err := runpool.RunContext(ctx, opt.pool(), jobs)
 	if err != nil {
 		return Result{}, err
 	}
@@ -111,7 +112,7 @@ func ContextSwitch(opt Options) (Result, error) {
 // benchmark set. Prediction hides decryption latency, not verification
 // latency — the tree's overhead is roughly scheme-independent, showing
 // the two mechanisms compose.
-func Integrity(opt Options) (Result, error) {
+func Integrity(ctx context.Context, opt Options) (Result, error) {
 	opt = opt.normalized()
 	res := Result{
 		ID:     "Integrity",
@@ -133,12 +134,12 @@ func Integrity(opt Options) (Result, error) {
 		for _, bench := range opt.Benchmarks {
 			jobs = append(jobs, runpool.Job[ratio]{
 				Label: fmt.Sprintf("Integrity %s/%s", bench, sch.Name),
-				Fn: func() (ratio, error) {
-					base, err := sim.Run(bench, perfConfig(opt, sch, 256<<10))
+				Fn: func(ctx context.Context) (ratio, error) {
+					base, err := opt.runSim(ctx, bench, perfConfig(opt, sch, 256<<10))
 					if err != nil {
 						return ratio{}, err
 					}
-					withTree, err := sim.Run(bench, perfConfig(opt, sch, 256<<10).WithIntegrity())
+					withTree, err := opt.runSim(ctx, bench, perfConfig(opt, sch, 256<<10).WithIntegrity())
 					if err != nil {
 						return ratio{}, err
 					}
@@ -150,7 +151,7 @@ func Integrity(opt Options) (Result, error) {
 			})
 		}
 	}
-	ratios, err := runpool.Run(opt.pool(), jobs)
+	ratios, err := runpool.RunContext(ctx, opt.pool(), jobs)
 	if err != nil {
 		return Result{}, err
 	}
@@ -166,7 +167,7 @@ func Integrity(opt Options) (Result, error) {
 // (prefetch) and OTP prediction are orthogonal and "a hybrid approach can
 // be designed for further performance improvement": IPC normalized to the
 // oracle for the baseline, prefetch alone, prediction alone, and both.
-func Hybrid(opt Options) (Result, error) {
+func Hybrid(ctx context.Context, opt Options) (Result, error) {
 	opt = opt.normalized()
 	res := Result{
 		ID:     "Hybrid",
@@ -188,7 +189,7 @@ func Hybrid(opt Options) (Result, error) {
 		{"prediction-only", sim.SchemePred(predictor.SchemeRegular), 0},
 		{"hybrid", sim.SchemePred(predictor.SchemeRegular), 1},
 	}
-	oracleIPC, err := oracleBaselines(opt, 256<<10)
+	oracleIPC, err := oracleBaselines(ctx, opt, 256<<10)
 	if err != nil {
 		return Result{}, err
 	}
@@ -197,10 +198,10 @@ func Hybrid(opt Options) (Result, error) {
 		for _, bench := range opt.Benchmarks {
 			jobs = append(jobs, runpool.Job[ratio]{
 				Label: fmt.Sprintf("Hybrid %s/%s", bench, v.name),
-				Fn: func() (ratio, error) {
+				Fn: func(ctx context.Context) (ratio, error) {
 					cfg := perfConfig(opt, v.scheme, 256<<10)
 					cfg.Mem.PrefetchDegree = v.prefetch
-					r, err := sim.Run(bench, cfg)
+					r, err := opt.runSim(ctx, bench, cfg)
 					if err != nil {
 						return ratio{}, err
 					}
@@ -213,7 +214,7 @@ func Hybrid(opt Options) (Result, error) {
 			})
 		}
 	}
-	ratios, err := runpool.Run(opt.pool(), jobs)
+	ratios, err := runpool.RunContext(ctx, opt.pool(), jobs)
 	if err != nil {
 		return Result{}, err
 	}
@@ -232,7 +233,7 @@ func Hybrid(opt Options) (Result, error) {
 // high." It sweeps the sequence-number cache from 4 KB to 1 MB and
 // reports the average hit rate alongside prediction's (size-independent)
 // rate for reference.
-func SeqCacheSweep(opt Options) (Result, error) {
+func SeqCacheSweep(ctx context.Context, opt Options) (Result, error) {
 	opt = opt.normalized()
 	res := Result{
 		ID:     "SeqCacheSweep",
@@ -249,8 +250,8 @@ func SeqCacheSweep(opt Options) (Result, error) {
 		for _, bench := range opt.Benchmarks {
 			jobs = append(jobs, runpool.Job[float64]{
 				Label: fmt.Sprintf("SeqCacheSweep %dKB/%s", size>>10, bench),
-				Fn: func() (float64, error) {
-					r, err := sim.Run(bench, hitRateConfig(opt, sim.SchemeSeqCache(size), 256<<10))
+				Fn: func(ctx context.Context) (float64, error) {
+					r, err := opt.runSim(ctx, bench, hitRateConfig(opt, sim.SchemeSeqCache(size), 256<<10))
 					if err != nil {
 						return 0, err
 					}
@@ -263,8 +264,8 @@ func SeqCacheSweep(opt Options) (Result, error) {
 	for _, bench := range opt.Benchmarks {
 		jobs = append(jobs, runpool.Job[float64]{
 			Label: fmt.Sprintf("SeqCacheSweep prediction/%s", bench),
-			Fn: func() (float64, error) {
-				r, err := sim.Run(bench, hitRateConfig(opt, sim.SchemePred(predictor.SchemeRegular), 256<<10))
+			Fn: func(ctx context.Context) (float64, error) {
+				r, err := opt.runSim(ctx, bench, hitRateConfig(opt, sim.SchemePred(predictor.SchemeRegular), 256<<10))
 				if err != nil {
 					return 0, err
 				}
@@ -272,7 +273,7 @@ func SeqCacheSweep(opt Options) (Result, error) {
 			},
 		})
 	}
-	rates, err := runpool.Run(opt.pool(), jobs)
+	rates, err := runpool.RunContext(ctx, opt.pool(), jobs)
 	if err != nil {
 		return Result{}, err
 	}
@@ -309,7 +310,7 @@ func SeqCacheSweep(opt Options) (Result, error) {
 // path of memory decryption" — its predictability source is value
 // locality, OTP prediction's is counter locality. The experiment reports
 // IPC normalized to the oracle for each mechanism alone and combined.
-func ValuePrediction(opt Options) (Result, error) {
+func ValuePrediction(ctx context.Context, opt Options) (Result, error) {
 	opt = opt.normalized()
 	res := Result{
 		ID:     "ValuePrediction",
@@ -331,7 +332,7 @@ func ValuePrediction(opt Options) (Result, error) {
 		{"otp-pred-only", sim.SchemePred(predictor.SchemeRegular), 0},
 		{"otp-pred+lvp", sim.SchemePred(predictor.SchemeRegular), 4096},
 	}
-	oracleIPC, err := oracleBaselines(opt, 256<<10)
+	oracleIPC, err := oracleBaselines(ctx, opt, 256<<10)
 	if err != nil {
 		return Result{}, err
 	}
@@ -340,10 +341,10 @@ func ValuePrediction(opt Options) (Result, error) {
 		for _, bench := range opt.Benchmarks {
 			jobs = append(jobs, runpool.Job[ratio]{
 				Label: fmt.Sprintf("ValuePrediction %s/%s", bench, v.name),
-				Fn: func() (ratio, error) {
+				Fn: func(ctx context.Context) (ratio, error) {
 					cfg := perfConfig(opt, v.scheme, 256<<10)
 					cfg.CPU.LVPEntries = v.lvp
-					r, err := sim.Run(bench, cfg)
+					r, err := opt.runSim(ctx, bench, cfg)
 					if err != nil {
 						return ratio{}, err
 					}
@@ -356,7 +357,7 @@ func ValuePrediction(opt Options) (Result, error) {
 			})
 		}
 	}
-	ratios, err := runpool.Run(opt.pool(), jobs)
+	ratios, err := runpool.RunContext(ctx, opt.pool(), jobs)
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -23,11 +24,11 @@ func TestParallelSweepDeterministic(t *testing.T) {
 		par := opt
 		par.Workers = 4
 
-		a, err := ByID(id, seq)
+		a, err := ByID(context.Background(), id, seq)
 		if err != nil {
 			t.Fatalf("%s sequential: %v", id, err)
 		}
-		b, err := ByID(id, par)
+		b, err := ByID(context.Background(), id, par)
 		if err != nil {
 			t.Fatalf("%s parallel: %v", id, err)
 		}
@@ -48,7 +49,7 @@ func TestSweepProgressUpdates(t *testing.T) {
 	opt.Workers = 2
 	var labels []string
 	opt.Progress = func(u runpool.Update) { labels = append(labels, u.Label) }
-	if _, err := Figure7(opt); err != nil {
+	if _, err := Figure7(context.Background(), opt); err != nil {
 		t.Fatal(err)
 	}
 	// 3 benchmarks × 3 schemes.
@@ -68,7 +69,7 @@ func TestSweepErrorLabeled(t *testing.T) {
 	opt := quickOpts()
 	opt.Benchmarks = []string{"nonesuch"}
 	opt.Workers = 4
-	_, err := Figure7(opt)
+	_, err := Figure7(context.Background(), opt)
 	if err == nil {
 		t.Fatal("sweep over an unknown benchmark succeeded")
 	}

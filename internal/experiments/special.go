@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ctrpred/internal/cryptoengine"
@@ -53,7 +54,10 @@ func Table1() Result {
 // Figure4Timeline reproduces the Figure 4 timelines as a microbenchmark:
 // the latency of a single cold L2 miss under the baseline, sequence
 // number caching (warm), OTP prediction, and the oracle.
-func Figure4Timeline(opt Options) (Result, error) {
+func Figure4Timeline(ctx context.Context, opt Options) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	opt = opt.normalized()
 	res := Result{
 		ID:     "Figure 4",
@@ -112,7 +116,7 @@ func Figure4Timeline(opt Options) (Result, error) {
 // Ablation sweeps the design parameters Sections 3, 7 and 8 discuss:
 // adaptive resets on/off, prediction depth, root-history depth, and the
 // context swing, reporting average prediction rate over the benchmarks.
-func Ablation(opt Options) (Result, error) {
+func Ablation(ctx context.Context, opt Options) (Result, error) {
 	opt = opt.normalized()
 	res := Result{
 		ID:     "Ablation",
@@ -147,8 +151,8 @@ func Ablation(opt Options) (Result, error) {
 		for _, bench := range opt.Benchmarks {
 			jobs = append(jobs, runpool.Job[[2]float64]{
 				Label: fmt.Sprintf("Ablation %s/%s", bench, v.name),
-				Fn: func() ([2]float64, error) {
-					r, err := sim.Run(bench, hitRateConfig(opt, scheme, 256<<10))
+				Fn: func(ctx context.Context) ([2]float64, error) {
+					r, err := opt.runSim(ctx, bench, hitRateConfig(opt, scheme, 256<<10))
 					if err != nil {
 						return [2]float64{}, fmt.Errorf("ablation %s: %w", v.name, err)
 					}
@@ -161,7 +165,7 @@ func Ablation(opt Options) (Result, error) {
 			})
 		}
 	}
-	vals, err := runpool.Run(opt.pool(), jobs)
+	vals, err := runpool.RunContext(ctx, opt.pool(), jobs)
 	if err != nil {
 		return Result{}, err
 	}

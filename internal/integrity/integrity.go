@@ -28,6 +28,7 @@ import (
 	"ctrpred/internal/ctr"
 	"ctrpred/internal/dram"
 	"ctrpred/internal/sha256"
+	"ctrpred/internal/stats"
 )
 
 // Digest is one tree-node hash.
@@ -75,6 +76,17 @@ type Stats struct {
 	CacheHits      uint64 // walks terminated early at a trusted node
 	TamperDetected uint64 // verification mismatches
 	LevelsWalked   uint64 // total levels traversed by verifications
+}
+
+// AddTo registers the tree's counters into a metrics snapshot node.
+func (s Stats) AddTo(n *stats.Snapshot) {
+	n.Counter("verifies", s.Verifies)
+	n.Counter("updates", s.Updates)
+	n.Counter("node_reads", s.NodeReads)
+	n.Counter("node_writes", s.NodeWrites)
+	n.Counter("cache_hits", s.CacheHits)
+	n.Counter("tamper_detected", s.TamperDetected)
+	n.Counter("levels_walked", s.LevelsWalked)
 }
 
 // nodeKey identifies an interior node: level 1 is the leaves' parents.

@@ -14,6 +14,7 @@ package memsys
 import (
 	"ctrpred/internal/cache"
 	"ctrpred/internal/secmem"
+	"ctrpred/internal/stats"
 	"ctrpred/internal/tlb"
 )
 
@@ -88,6 +89,18 @@ type Stats struct {
 	BackInvalL1     uint64
 	ContextSwitches uint64
 	Prefetches      uint64 // lines fetched speculatively (pre-decrypted)
+}
+
+// AddTo registers the hierarchy's counters into a metrics snapshot node.
+func (s Stats) AddTo(n *stats.Snapshot) {
+	n.Counter("data_accesses", s.DataAccesses)
+	n.Counter("instr_fetches", s.InstrFetches)
+	n.Counter("l2_writebacks", s.L2Writebacks)
+	n.Counter("flushed_lines", s.FlushedLines)
+	n.Counter("flushes", s.Flushes)
+	n.Counter("back_inval_l1", s.BackInvalL1)
+	n.Counter("context_switches", s.ContextSwitches)
+	n.Counter("prefetches", s.Prefetches)
 }
 
 // System is the assembled hierarchy.

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"ctrpred/internal/rng"
+	"ctrpred/internal/stats"
 )
 
 // Scheme selects the guess-generation policy.
@@ -121,6 +122,10 @@ type Stats struct {
 	Rebases uint64
 	// RangeEvictions counts pages displaced from the range table.
 	RangeEvictions uint64
+	// HitDepth is the distribution of the confirmed guess's position
+	// (1-based, most-likely first) in the guess list of hitting fetches:
+	// how deep the paper's prediction depth actually needs to reach.
+	HitDepth *stats.Histogram
 }
 
 // HitRate returns the prediction rate (hits / fetches).
@@ -129,6 +134,19 @@ func (s Stats) HitRate() float64 {
 		return 0
 	}
 	return float64(s.Hits) / float64(s.Fetches)
+}
+
+// AddTo registers the predictor's statistics into a metrics snapshot
+// node.
+func (s Stats) AddTo(n *stats.Snapshot) {
+	n.Counter("fetches", s.Fetches)
+	n.Counter("hits", s.Hits)
+	n.Counter("guesses", s.Guesses)
+	n.Counter("resets", s.Resets)
+	n.Counter("rebases", s.Rebases)
+	n.Counter("range_evictions", s.RangeEvictions)
+	n.Value("hit_rate", s.HitRate())
+	n.Histogram("hit_depth", s.HitDepth)
 }
 
 // pageMeta is the per-page security context. Like the root sequence
@@ -196,6 +214,7 @@ func New(cfg Config) *Predictor {
 		}
 		p.rangeTable = make([]rangeEntry, cfg.RangeTableEntries)
 	}
+	p.stats.HitDepth = stats.NewHistogram(1, 2, 3, 4, 6, 8, 12, 16)
 	return p
 }
 
@@ -304,6 +323,14 @@ func (p *Predictor) Observe(vaddr uint64, trueSeq uint64, hit bool) {
 	p.stats.Fetches++
 	if hit {
 		p.stats.Hits++
+		// The scratch buffer still holds the guesses of the Predict call
+		// this Observe confirms; record how deep the hit sat.
+		for i, g := range p.scratch {
+			if g == trueSeq {
+				p.stats.HitDepth.Observe(uint64(i + 1))
+				break
+			}
+		}
 	}
 	m := p.page(vaddr)
 

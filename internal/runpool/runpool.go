@@ -12,15 +12,22 @@
 // of their input index, and the error returned is always the
 // lowest-index failure regardless of completion order.
 //
+// Runs are cancellable: RunContext stops dispatching new jobs once the
+// context is done, jobs receive the context so they can abandon work at
+// their own checkpoints, and the returned *PartialError records which
+// jobs finished before the interruption.
+//
 // A panicking job does not kill the sweep: the panic is captured as a
 // *PanicError labeled with the job, and surfaces through the normal
 // error path.
 package runpool
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 )
@@ -31,8 +38,10 @@ type Job[T any] struct {
 	// e.g. "Figure 7 mcf/pred-regular".
 	Label string
 	// Fn computes the job's value. It must not share mutable state with
-	// other jobs.
-	Fn func() (T, error)
+	// other jobs. The context is the run's context (plus any per-job
+	// deadline the caller layered on); long jobs should poll it and
+	// return its error to make cancellation prompt.
+	Fn func(ctx context.Context) (T, error)
 }
 
 // Update describes one finished job. Progress callbacks receive updates
@@ -56,7 +65,9 @@ type Update struct {
 type Options struct {
 	// Workers caps concurrent jobs; <= 0 means DefaultWorkers().
 	Workers int
-	// Progress, when non-nil, is called once per finished job.
+	// Progress, when non-nil, is called once per finished job. Jobs
+	// skipped because the context was cancelled before they started do
+	// not produce updates.
 	Progress func(Update)
 }
 
@@ -74,20 +85,60 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("job %q panicked: %v", e.Label, e.Value)
 }
 
+// PartialError reports a run interrupted by context cancellation or
+// deadline expiry: which jobs completed successfully before the
+// interruption, and the context error that caused it. errors.Is sees
+// through it to the cause (context.Canceled / context.DeadlineExceeded),
+// so callers branch on the standard sentinels.
+type PartialError struct {
+	// Cause is the context error that interrupted the run.
+	Cause error
+	// Completed lists the labels of jobs that finished without error, in
+	// input order. Their results are present in the returned slice.
+	Completed []string
+	// Total is the number of jobs the run was asked to execute.
+	Total int
+}
+
+func (e *PartialError) Error() string {
+	msg := fmt.Sprintf("run interrupted (%v) after %d/%d jobs", e.Cause, len(e.Completed), e.Total)
+	if n := len(e.Completed); n > 0 && n <= 8 {
+		msg += ": finished " + strings.Join(e.Completed, ", ")
+	}
+	return msg
+}
+
+// Unwrap exposes the context error for errors.Is.
+func (e *PartialError) Unwrap() error { return e.Cause }
+
 // DefaultWorkers is the worker count used when Options.Workers <= 0:
 // one per available CPU.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
-// Run executes every job across the pool and returns their values in
-// input order. All jobs run even if some fail; if any failed, Run
-// returns the error of the lowest-index failed job (so the reported
-// error does not depend on scheduling), alongside the partial results —
-// slots of failed jobs hold T's zero value.
+// Run executes every job across the pool with a background context; see
+// RunContext.
 func Run[T any](opt Options, jobs []Job[T]) ([]T, error) {
+	return RunContext(context.Background(), opt, jobs)
+}
+
+// RunContext executes every job across the pool and returns their values
+// in input order.
+//
+// While ctx is live, all jobs run even if some fail; if any failed,
+// RunContext returns the error of the lowest-index failed job (so the
+// reported error does not depend on scheduling), alongside the partial
+// results — slots of failed jobs hold T's zero value.
+//
+// When ctx is cancelled mid-run, jobs not yet started are skipped,
+// in-flight jobs are left to notice the cancellation themselves, and the
+// returned error is a *PartialError wrapping ctx.Err() that lists the
+// jobs that did finish; their results are valid in the returned slice.
+func RunContext[T any](ctx context.Context, opt Options, jobs []Job[T]) ([]T, error) {
 	results := make([]T, len(jobs))
 	errs := make([]error, len(jobs))
+	skipped := make([]bool, len(jobs))
 	if len(jobs) == 0 {
-		return results, nil
+		return results, ctx.Err()
 	}
 
 	workers := opt.Workers
@@ -119,6 +170,11 @@ func Run[T any](opt Options, jobs []Job[T]) ([]T, error) {
 		})
 	}
 	exec := func(i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			skipped[i] = true
+			return
+		}
 		start := time.Now()
 		defer func() {
 			if v := recover(); v != nil {
@@ -126,7 +182,7 @@ func Run[T any](opt Options, jobs []Job[T]) ([]T, error) {
 			}
 			finish(i, time.Since(start))
 		}()
-		results[i], errs[i] = jobs[i].Fn()
+		results[i], errs[i] = jobs[i].Fn(ctx)
 	}
 
 	idx := make(chan int)
@@ -146,6 +202,15 @@ func Run[T any](opt Options, jobs []Job[T]) ([]T, error) {
 	close(idx)
 	wg.Wait()
 
+	if cause := ctx.Err(); cause != nil {
+		perr := &PartialError{Cause: cause, Total: len(jobs)}
+		for i := range jobs {
+			if !skipped[i] && errs[i] == nil {
+				perr.Completed = append(perr.Completed, jobs[i].Label)
+			}
+		}
+		return results, perr
+	}
 	for _, err := range errs {
 		if err != nil {
 			return results, err

@@ -1,6 +1,7 @@
 package runpool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -15,7 +16,7 @@ func TestOrderPreservedAcrossWorkers(t *testing.T) {
 	for i := 0; i < n; i++ {
 		jobs[i] = Job[int]{
 			Label: fmt.Sprintf("job-%d", i),
-			Fn: func() (int, error) {
+			Fn: func(context.Context) (int, error) {
 				// Earlier jobs sleep longer, so completion order inverts
 				// submission order; results must still land by index.
 				time.Sleep(time.Duration(n-i) * 10 * time.Microsecond)
@@ -38,9 +39,9 @@ func TestOrderPreservedAcrossWorkers(t *testing.T) {
 
 func TestPanicCaptured(t *testing.T) {
 	jobs := []Job[string]{
-		{Label: "fine", Fn: func() (string, error) { return "ok", nil }},
-		{Label: "bomb", Fn: func() (string, error) { panic("boom") }},
-		{Label: "also-fine", Fn: func() (string, error) { return "ok", nil }},
+		{Label: "fine", Fn: func(context.Context) (string, error) { return "ok", nil }},
+		{Label: "bomb", Fn: func(context.Context) (string, error) { panic("boom") }},
+		{Label: "also-fine", Fn: func(context.Context) (string, error) { return "ok", nil }},
 	}
 	got, err := Run(Options{Workers: 2}, jobs)
 	if err == nil {
@@ -70,7 +71,7 @@ func TestLowestIndexErrorWins(t *testing.T) {
 	// be job 2's regardless of completion order.
 	jobs := make([]Job[int], 10)
 	for i := range jobs {
-		jobs[i] = Job[int]{Label: fmt.Sprintf("job-%d", i), Fn: func() (int, error) {
+		jobs[i] = Job[int]{Label: fmt.Sprintf("job-%d", i), Fn: func(context.Context) (int, error) {
 			switch i {
 			case 2:
 				time.Sleep(20 * time.Millisecond)
@@ -91,7 +92,7 @@ func TestProgressSerializedAndComplete(t *testing.T) {
 	const n = 50
 	jobs := make([]Job[int], n)
 	for i := range jobs {
-		jobs[i] = Job[int]{Label: fmt.Sprintf("job-%d", i), Fn: func() (int, error) { return i, nil }}
+		jobs[i] = Job[int]{Label: fmt.Sprintf("job-%d", i), Fn: func(context.Context) (int, error) { return i, nil }}
 	}
 	var updates []Update
 	var inFlight atomic.Int32
@@ -135,8 +136,80 @@ func TestEmptyAndDefaults(t *testing.T) {
 		t.Fatalf("DefaultWorkers() = %d", DefaultWorkers())
 	}
 	// Workers <= 0 falls back to the default and still runs everything.
-	vals, err := Run(Options{Workers: -3}, []Job[int]{{Label: "x", Fn: func() (int, error) { return 42, nil }}})
+	vals, err := Run(Options{Workers: -3}, []Job[int]{{Label: "x", Fn: func(context.Context) (int, error) { return 42, nil }}})
 	if err != nil || vals[0] != 42 {
 		t.Fatalf("default-worker run: %v, %v", vals, err)
+	}
+}
+
+func TestCancelMidRun(t *testing.T) {
+	// One worker processes jobs in order; job 3 cancels the context, so
+	// jobs 0–3 finish and jobs 4+ are skipped.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 10
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		jobs[i] = Job[int]{Label: fmt.Sprintf("job-%d", i), Fn: func(context.Context) (int, error) {
+			if i == 3 {
+				cancel()
+			}
+			return i + 1, nil
+		}}
+	}
+	vals, err := RunContext(ctx, Options{Workers: 1}, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want errors.Is(err, context.Canceled)", err)
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not a *PartialError: %v", err, err)
+	}
+	want := []string{"job-0", "job-1", "job-2", "job-3"}
+	if len(pe.Completed) != len(want) {
+		t.Fatalf("Completed = %v, want %v", pe.Completed, want)
+	}
+	for k, label := range want {
+		if pe.Completed[k] != label {
+			t.Fatalf("Completed = %v, want %v", pe.Completed, want)
+		}
+	}
+	if pe.Total != n {
+		t.Fatalf("Total = %d, want %d", pe.Total, n)
+	}
+	// Finished jobs' results survive; skipped slots hold the zero value.
+	for i := 0; i < 4; i++ {
+		if vals[i] != i+1 {
+			t.Fatalf("vals[%d] = %d, want %d", i, vals[i], i+1)
+		}
+	}
+	for i := 4; i < n; i++ {
+		if vals[i] != 0 {
+			t.Fatalf("vals[%d] = %d, want 0 (skipped)", i, vals[i])
+		}
+	}
+	if !strings.Contains(pe.Error(), "4/10") {
+		t.Fatalf("PartialError message uninformative: %q", pe.Error())
+	}
+}
+
+func TestPreCancelledSkipsEverything(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	jobs := []Job[int]{{Label: "x", Fn: func(context.Context) (int, error) {
+		ran.Add(1)
+		return 1, nil
+	}}}
+	_, err := RunContext(ctx, Options{}, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatal("job ran despite pre-cancelled context")
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) || len(pe.Completed) != 0 {
+		t.Fatalf("want empty PartialError, got %v", err)
 	}
 }

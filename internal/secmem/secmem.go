@@ -89,6 +89,22 @@ func (s *Stats) CounterCoverage() float64 {
 	return stats.Rate(s.PredHits+s.SeqCacheHits-s.BothHits+s.OracleHits, s.Fetches)
 }
 
+// AddTo registers the controller's counters into a metrics snapshot node.
+func (s *Stats) AddTo(n *stats.Snapshot) {
+	n.Counter("fetches", s.Fetches)
+	n.Counter("evictions", s.Evictions)
+	n.Counter("counter_buf_hits", s.CounterBufHits)
+	n.Counter("tamper_detected", s.TamperDetected)
+	n.Counter("pred_hits", s.PredHits)
+	n.Counter("seqcache_hits", s.SeqCacheHits)
+	n.Counter("both_hits", s.BothHits)
+	n.Counter("oracle_hits", s.OracleHits)
+	n.Counter("selfcheck_fails", s.SelfCheckFails)
+	n.Counter("decrypt_exposed_cycles", s.DecryptExposed)
+	n.Histogram("fetch_latency", s.FetchLatency)
+	n.Value("counter_coverage", s.CounterCoverage())
+}
+
 // FetchResult describes one line fetch, for tests and tracing.
 type FetchResult struct {
 	Done     uint64 // cycle at which decrypted data is available

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ctrpred/internal/predictor"
+)
+
+// ErrUnknownScheme is wrapped by ParseScheme when the spec names no
+// known counter-availability scheme; callers branch with errors.Is
+// instead of matching message substrings.
+var ErrUnknownScheme = errors.New("unknown scheme")
+
+// ParseScheme parses a textual scheme spec as accepted by the CLIs:
+//
+//	baseline | oracle | direct
+//	pred-regular | pred-twolevel | pred-context
+//	seqcache:<size>            a sequence-number cache of that capacity
+//	combined:<size>            seq cache + regular prediction
+//
+// Sizes accept K/M suffixes (see ParseSize). Unknown specs return an
+// error wrapping ErrUnknownScheme.
+func ParseScheme(s string) (Scheme, error) {
+	switch {
+	case s == "baseline":
+		return SchemeBaseline(), nil
+	case s == "oracle":
+		return SchemeOracle(), nil
+	case s == "direct":
+		return SchemeDirect(), nil
+	case s == "pred-regular":
+		return SchemePred(predictor.SchemeRegular), nil
+	case s == "pred-twolevel":
+		return SchemePred(predictor.SchemeTwoLevel), nil
+	case s == "pred-context":
+		return SchemePred(predictor.SchemeContext), nil
+	case strings.HasPrefix(s, "seqcache:"):
+		n, err := ParseSize(strings.TrimPrefix(s, "seqcache:"))
+		if err != nil {
+			return Scheme{}, fmt.Errorf("scheme %q: %w", s, err)
+		}
+		return SchemeSeqCache(n), nil
+	case strings.HasPrefix(s, "combined:"):
+		n, err := ParseSize(strings.TrimPrefix(s, "combined:"))
+		if err != nil {
+			return Scheme{}, fmt.Errorf("scheme %q: %w", s, err)
+		}
+		return SchemeCombined(n, predictor.SchemeRegular), nil
+	}
+	return Scheme{}, fmt.Errorf("%w %q (want baseline, oracle, direct, pred-regular, pred-twolevel, pred-context, seqcache:<size>, combined:<size>)", ErrUnknownScheme, s)
+}
+
+// ParseSize parses a byte capacity with an optional K (KiB) or M (MiB)
+// suffix: "4096", "128K", "1M".
+func ParseSize(s string) (int, error) {
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}

@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"ctrpred/internal/cache"
@@ -106,7 +107,19 @@ type Config struct {
 	// assumes alongside encryption (Section 2.2): every fetch verifies,
 	// every writeback updates the tree.
 	Integrity bool
+	// CheckInterval is the number of committed instructions between
+	// cancellation checkpoints in a context-aware run (RunContext). A
+	// cancel therefore lands within one interval of simulated
+	// instructions, not at run granularity. 0 means
+	// DefaultCheckInterval. It has no effect on timing or statistics.
+	CheckInterval uint64
 }
+
+// DefaultCheckInterval is the cancellation-checkpoint spacing used when
+// Config.CheckInterval is zero: small enough that a cancel lands in
+// well under a second of wall-clock simulation, large enough that the
+// poll is unmeasurable against the per-instruction work.
+const DefaultCheckInterval = 10_000
 
 // DefaultConfig returns the Table 1 machine with the given scheme, the
 // 256 KB L2, performance mode, and the default workload scale.
@@ -141,6 +154,27 @@ func (c Config) WithMode(m Mode) Config {
 // WithIntegrity returns the config with hash-tree protection enabled.
 func (c Config) WithIntegrity() Config {
 	c.Integrity = true
+	return c
+}
+
+// WithSeed returns the config with the given seed for workload layout,
+// key material and predictor roots.
+func (c Config) WithSeed(seed uint64) Config {
+	c.Seed = seed
+	return c
+}
+
+// WithInstrBudget returns the config with the given dynamic instruction
+// budget.
+func (c Config) WithInstrBudget(n uint64) Config {
+	c.Scale.Instructions = n
+	return c
+}
+
+// WithFootprint returns the config with the given workload working-set
+// target in bytes.
+func (c Config) WithFootprint(bytes int) Config {
+	c.Scale.Footprint = bytes
 	return c
 }
 
@@ -265,6 +299,28 @@ func NewMachine(bench string, cfg Config) (*Machine, error) {
 // collects the result, labeled with the benchmark the machine was built
 // for.
 func (m *Machine) Run() Result {
+	res, _ := m.RunContext(context.Background())
+	return res
+}
+
+// RunContext is Run with cancellation: the context is polled every
+// Config.CheckInterval committed instructions, so a cancel or deadline
+// expiry stops the simulation within one interval. On interruption the
+// partial Result collected so far is returned alongside the context's
+// error. A run whose context is never cancelled is cycle-for-cycle
+// identical to Run.
+func (m *Machine) RunContext(ctx context.Context) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	if ctx.Done() != nil {
+		interval := m.Config.CheckInterval
+		if interval == 0 {
+			interval = DefaultCheckInterval
+		}
+		m.Core.SetCheckpoint(interval, ctx.Err)
+		defer m.Core.SetCheckpoint(0, nil)
+	}
 	var cs cpu.Stats
 	if m.Config.Mode == HitRate {
 		cs = m.Core.RunFunctional(m.Config.Scale.Instructions)
@@ -294,20 +350,21 @@ func (m *Machine) Run() Result {
 		s := tree.Stats()
 		res.Integrity = &s
 	}
-	return res
+	return res, m.Core.StopCause()
 }
-
-// RunBenchmark is the old Run(bench) signature. The label now lives on
-// the Machine, so the argument is ignored.
-//
-// Deprecated: use Run.
-func (m *Machine) RunBenchmark(string) Result { return m.Run() }
 
 // Run builds and runs the named benchmark under cfg.
 func Run(bench string, cfg Config) (Result, error) {
+	return RunContext(context.Background(), bench, cfg)
+}
+
+// RunContext builds and runs the named benchmark under cfg, polling ctx
+// at Config.CheckInterval instruction checkpoints so cancellation lands
+// within a bounded amount of simulated work.
+func RunContext(ctx context.Context, bench string, cfg Config) (Result, error) {
 	m, err := NewMachine(bench, cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	return m.Run(), nil
+	return m.RunContext(ctx)
 }

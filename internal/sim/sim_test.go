@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"ctrpred/internal/predictor"
 	"ctrpred/internal/workload"
@@ -223,6 +226,132 @@ func TestIntegrityPlumbing(t *testing.T) {
 	}
 	if plain.Integrity != nil {
 		t.Fatal("plain run reports integrity stats")
+	}
+}
+
+// pollCountdownCtx is a context whose Err flips to Canceled after a
+// fixed number of Err() calls — a deterministic stand-in for "the caller
+// cancelled mid-run" that lets the checkpoint-promptness bound be
+// asserted exactly.
+type pollCountdownCtx struct {
+	context.Context
+	remaining int
+}
+
+func (c *pollCountdownCtx) Done() <-chan struct{} { return make(chan struct{}) }
+
+func (c *pollCountdownCtx) Err() error {
+	if c.remaining <= 0 {
+		return context.Canceled
+	}
+	c.remaining--
+	return nil
+}
+
+func TestRunContextCancelWithinOneInterval(t *testing.T) {
+	const interval = 1_000
+	for _, mode := range []Mode{Performance, HitRate} {
+		cfg := testConfig(SchemeBaseline()).WithMode(mode)
+		cfg.CheckInterval = interval
+		cfg.Scale.Instructions = 200_000
+		// RunContext calls Err once on entry, then once per checkpoint:
+		// budget 1 entry call + 3 clean polls, so the 4th checkpoint stops
+		// the run.
+		ctx := &pollCountdownCtx{Context: context.Background(), remaining: 4}
+		res, err := RunContext(ctx, "mcf", cfg)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("mode %v: err = %v, want context.Canceled", mode, err)
+		}
+		// HitRate mode widens the instruction window, so normalize: the
+		// run must have stopped at the 4th checkpoint, within one
+		// commit-width of 4 intervals, far short of the budget.
+		got := res.CPU.Instructions
+		if got < 3*interval || got > 4*interval+8 {
+			t.Fatalf("mode %v: stopped at %d instructions, want ~%d (within one checkpoint interval)",
+				mode, got, 4*interval)
+		}
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, "mcf", testConfig(SchemeBaseline()))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.CPU.Instructions != 0 {
+		t.Fatalf("pre-cancelled run executed %d instructions", res.CPU.Instructions)
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // make sure the deadline has passed
+	cfg := testConfig(SchemeBaseline())
+	cfg.Scale.Instructions = 500_000
+	_, err := RunContext(ctx, "mcf", cfg)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestRunMatchesRunContextBackground(t *testing.T) {
+	cfg := testConfig(SchemePred(predictor.SchemeRegular))
+	a, err := Run("mcf", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), "mcf", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CPU.Cycles != b.CPU.Cycles || a.Ctrl.Fetches != b.Ctrl.Fetches || a.Pred.Hits != b.Pred.Hits {
+		t.Fatalf("Run and RunContext(Background) diverge:\n%+v\nvs\n%+v", a.CPU, b.CPU)
+	}
+}
+
+func TestResultSnapshot(t *testing.T) {
+	res, err := Run("swim", testConfig(SchemeCombined(4<<10, predictor.SchemeRegular)).WithIntegrity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Snapshot()
+	if snap.Name != "run" {
+		t.Fatalf("root name %q", snap.Name)
+	}
+	cpu := snap.Lookup("cpu")
+	if cpu == nil {
+		t.Fatal("snapshot missing cpu child")
+	}
+	if v, ok := cpu.CounterValue("instructions"); !ok || v != res.CPU.Instructions {
+		t.Fatalf("cpu.instructions = %d, %v; want %d", v, ok, res.CPU.Instructions)
+	}
+	for _, child := range []string{"controller", "predictor", "engine", "dram", "hierarchy", "l1d", "l2", "seqcache", "integrity"} {
+		if snap.Lookup(child) == nil {
+			t.Fatalf("snapshot missing %s child", child)
+		}
+	}
+	// Schemes without a seq cache / tree must omit the optional children.
+	plain, err := Run("swim", testConfig(SchemeBaseline()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := plain.Snapshot(); s.Lookup("seqcache") != nil || s.Lookup("integrity") != nil {
+		t.Fatal("baseline snapshot has optional children")
+	}
+	// The tree serializes without error and is byte-stable.
+	j1, err := snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := res.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Fatal("snapshot JSON not reproducible")
 	}
 }
 

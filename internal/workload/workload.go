@@ -13,6 +13,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -20,6 +21,10 @@ import (
 	"ctrpred/internal/mem"
 	"ctrpred/internal/rng"
 )
+
+// ErrUnknownBenchmark reports a benchmark name outside the kernel set;
+// match it with errors.Is after Build or sim.Run.
+var ErrUnknownBenchmark = errors.New("unknown benchmark")
 
 // CodeBase is where kernel code is loaded.
 const CodeBase = 0x10000
@@ -141,7 +146,7 @@ func Lookup(name string) (Spec, bool) {
 func Build(name string, s Scale, img *mem.Memory, seed uint64) (*Workload, error) {
 	spec, ok := Lookup(name)
 	if !ok {
-		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+		return nil, fmt.Errorf("workload: %w %q (have %v)", ErrUnknownBenchmark, name, Names())
 	}
 	if s.Footprint < 4096 || s.Instructions == 0 {
 		return nil, fmt.Errorf("workload: degenerate scale %+v", s)
