@@ -1,10 +1,16 @@
 # Verification recipe. `make verify` is the tier-1 gate: build, vet,
 # the full test suite, and a race-detector pass over the concurrent
 # packages (the run scheduler and the sweeps routed through it).
+#
+# `make bench` runs the benchmark suite once and appends a labeled entry
+# to the tracked ledger BENCH_sim.json (label via BENCH_LABEL=...), so
+# perf changes land with their before/after numbers. See EXPERIMENTS.md
+# for the profiling workflow built on top of it.
 
 GO ?= go
+BENCH_LABEL ?= local
 
-.PHONY: build vet test race verify
+.PHONY: build vet test race verify bench
 
 build:
 	$(GO) build ./...
@@ -23,3 +29,7 @@ race:
 	$(GO) test -race ./internal/experiments -run 'Parallel|SweepProgress|SweepError|SweepCancel|SweepPreCancelled|SimTimeout'
 
 verify: build vet test race
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -o BENCH_sim.json

@@ -25,8 +25,25 @@ func benchOptions() ExperimentOptions {
 
 var printOnce sync.Map
 
-// runFigure executes the experiment, prints its table (once per figure),
-// and returns the result for metric extraction.
+// printTable shows the regenerated table once per figure, only under
+// `go test -v`, and only after stopping the benchmark timer: table
+// rendering must neither pollute the timed region nor break tools
+// (benchstat, cmd/benchjson) that parse the benchmark output lines.
+func printTable(b *testing.B, id string, res ExperimentResult) {
+	b.Helper()
+	if _, done := printOnce.LoadOrStore(id, true); done || !testing.Verbose() {
+		return
+	}
+	b.StopTimer()
+	defer b.StartTimer()
+	fmt.Printf("\n%s\n", res.Table)
+	if res.Notes != "" {
+		fmt.Printf("paper shape: %s\n", res.Notes)
+	}
+}
+
+// runFigure executes the experiment, prints its table (once per figure,
+// verbose runs only), and returns the result for metric extraction.
 func runFigure(b *testing.B, id string) ExperimentResult {
 	b.Helper()
 	var res ExperimentResult
@@ -37,12 +54,7 @@ func runFigure(b *testing.B, id string) ExperimentResult {
 			b.Fatal(err)
 		}
 	}
-	if _, done := printOnce.LoadOrStore(id, true); !done {
-		fmt.Printf("\n%s\n", res.Table)
-		if res.Notes != "" {
-			fmt.Printf("paper shape: %s\n", res.Notes)
-		}
-	}
+	printTable(b, id, res)
 	return res
 }
 
@@ -147,9 +159,7 @@ func BenchmarkAblationParameters(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	if _, done := printOnce.LoadOrStore("ablation", true); !done {
-		fmt.Printf("\n%s\n", res.Table)
-	}
+	printTable(b, "ablation", res)
 	b.ReportMetric(res.Series["pred_rate"]["regular (default)"], "adaptive_rate")
 	b.ReportMetric(res.Series["pred_rate"]["non-adaptive"], "nonadaptive_rate")
 }
@@ -184,9 +194,7 @@ func BenchmarkContextSwitch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	if _, done := printOnce.LoadOrStore("ctxswitch", true); !done {
-		fmt.Printf("\n%s\n", res.Table)
-	}
+	printTable(b, "ctxswitch", res)
 	b.ReportMetric(res.Series["seqcache-128K"]["window/128"], "cache_cov_fastswitch")
 	b.ReportMetric(res.Series["pred-regular"]["window/128"], "pred_cov_fastswitch")
 }
@@ -204,9 +212,7 @@ func BenchmarkIntegrityOverhead(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	if _, done := printOnce.LoadOrStore("integrity", true); !done {
-		fmt.Printf("\n%s\n", res.Table)
-	}
+	printTable(b, "integrity", res)
 	b.ReportMetric(res.Series["normalized_ipc"]["pred-regular"], "pred_tree_ipc_ratio")
 	b.ReportMetric(res.Series["normalized_ipc"]["baseline"], "baseline_tree_ipc_ratio")
 }
@@ -224,9 +230,7 @@ func BenchmarkSeqCacheSweep(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	if _, done := printOnce.LoadOrStore("seqsweep", true); !done {
-		fmt.Printf("\n%s\n", res.Table)
-	}
+	printTable(b, "seqsweep", res)
 	b.ReportMetric(res.Series["hit_rate"]["128KB"], "cache128K_rate")
 	b.ReportMetric(res.Series["hit_rate"]["prediction (0KB)"], "pred_rate")
 }
@@ -244,9 +248,7 @@ func BenchmarkHybridPrefetch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	if _, done := printOnce.LoadOrStore("hybrid", true); !done {
-		fmt.Printf("\n%s\n", res.Table)
-	}
+	printTable(b, "hybrid", res)
 	b.ReportMetric(res.Series["normalized_ipc"]["hybrid"], "hybrid_ipc")
 	b.ReportMetric(res.Series["normalized_ipc"]["prediction-only"], "pred_ipc")
 }
@@ -264,9 +266,7 @@ func BenchmarkValuePrediction(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	if _, done := printOnce.LoadOrStore("valuepred", true); !done {
-		fmt.Printf("\n%s\n", res.Table)
-	}
+	printTable(b, "valuepred", res)
 	b.ReportMetric(res.Series["normalized_ipc"]["lvp-only"], "lvp_ipc")
 	b.ReportMetric(res.Series["normalized_ipc"]["otp-pred-only"], "otp_ipc")
 }

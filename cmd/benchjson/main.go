@@ -1,0 +1,147 @@
+// Command benchjson converts `go test -bench` output into the tracked
+// benchmark ledger BENCH_sim.json. It reads benchmark output on stdin,
+// parses every result line — including custom metrics such as
+// sim_instrs/s — and appends one labeled run entry to the ledger, so
+// before/after comparisons live in the repository next to the code they
+// measure.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson -label after -o BENCH_sim.json
+//
+// The input stream is echoed to stderr so piping through benchjson does
+// not hide benchmark progress.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line: the benchmark name, its iteration
+// count, and every reported metric keyed by unit (ns/op, B/op,
+// allocs/op, and any custom b.ReportMetric unit).
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// RunEntry is one labeled invocation of the benchmark suite.
+type RunEntry struct {
+	Label      string      `json:"label"`
+	Date       string      `json:"date"`
+	Go         string      `json:"go,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Ledger is the whole BENCH_sim.json file.
+type Ledger struct {
+	Runs []RunEntry `json:"runs"`
+}
+
+func main() {
+	var (
+		label = flag.String("label", "local", "label for this run entry (e.g. before, after, ci)")
+		out   = flag.String("o", "BENCH_sim.json", "ledger file to append to (created if absent)")
+		quiet = flag.Bool("q", false, "do not echo the input stream to stderr")
+	)
+	flag.Parse()
+
+	entry := RunEntry{Label: *label, Date: time.Now().UTC().Format(time.RFC3339)}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	failed := false
+	for sc.Scan() {
+		line := sc.Text()
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, line)
+		}
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			entry.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"):
+			entry.Go = strings.TrimSpace(entry.Go + " " + strings.TrimSpace(line))
+		case strings.HasPrefix(line, "FAIL"):
+			failed = true
+		}
+		if b, ok := parseBenchLine(line); ok {
+			entry.Benchmarks = append(entry.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if failed {
+		fatal(fmt.Errorf("benchmark run reported FAIL; not recording"))
+	}
+	if len(entry.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines found on stdin"))
+	}
+
+	var ledger Ledger
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &ledger); err != nil {
+			fatal(fmt.Errorf("parsing existing %s: %w", *out, err))
+		}
+	} else if !os.IsNotExist(err) {
+		fatal(err)
+	}
+	ledger.Runs = append(ledger.Runs, entry)
+
+	data, err := json.MarshalIndent(&ledger, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: recorded %d benchmarks as %q in %s\n",
+		len(entry.Benchmarks), *label, *out)
+}
+
+// parseBenchLine parses one `go test -bench` result line:
+//
+//	BenchmarkName-8   5   15519015 ns/op   3221904 sim_instrs/s   533 allocs/op
+//
+// Fields after the iteration count come in (value, unit) pairs.
+func parseBenchLine(line string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkSingleRunMcfContext-8 \t       5\t  15519015 ns/op\t   3221904 sim_instrs/s\t 4546041 B/op\t     533 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if b.Name != "SingleRunMcfContext" {
+		t.Errorf("Name = %q", b.Name)
+	}
+	if b.Iterations != 5 {
+		t.Errorf("Iterations = %d", b.Iterations)
+	}
+	want := map[string]float64{
+		"ns/op": 15519015, "sim_instrs/s": 3221904, "B/op": 4546041, "allocs/op": 533,
+	}
+	for unit, v := range want {
+		if b.Metrics[unit] != v {
+			t.Errorf("Metrics[%q] = %v, want %v", unit, b.Metrics[unit], v)
+		}
+	}
+}
+
+func TestParseBenchLineNoProcsSuffix(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkFigure4Timeline \t 3\t 123456 ns/op")
+	if !ok || b.Name != "Figure4Timeline" {
+		t.Fatalf("parse = %+v, %v", b, ok)
+	}
+}
+
+func TestParseBenchLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"BenchmarkFoo", // no fields
+		"PASS",
+		"BenchmarkBar \t x\t 5 ns/op",
+		"--- BENCH: BenchmarkBaz",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("parseBenchLine(%q) accepted", line)
+		}
+	}
+}

@@ -8,10 +8,16 @@
 // affine transform, rather than embedded as opaque tables, so the tests
 // can cross-check the construction against the published constants.
 //
-// This implementation favors clarity and auditability over raw speed; it
-// is nonetheless fast enough to encrypt every memory block a simulation
-// touches (the simulator really encrypts memory — mispredicted pads are
-// computed and discarded exactly as the hardware would).
+// Two implementations share the derived tables: a byte-wise reference
+// (EncryptReference/DecryptReference) that applies SubBytes, ShiftRows
+// and MixColumns as separate auditable steps, and the production T-table
+// path (Encrypt/Decrypt) whose four fused lookup tables are generated at
+// init from that same S-box/gmul construction. The tests assert the two
+// paths agree on the FIPS-197 known-answer vectors and on random blocks,
+// so the fast path inherits the reference's auditability. The simulator
+// really encrypts every memory block it touches — mispredicted pads are
+// computed and discarded exactly as the hardware would — which is why the
+// fast path matters.
 package aes
 
 import (
@@ -37,6 +43,15 @@ var (
 	// Precomputed GF(2^8) multiplication tables for the (inv)MixColumns
 	// coefficients; computed once from gmul so the hot path is lookups.
 	mul2, mul3, mul9, mul11, mul13, mul14 [256]byte
+	// T-tables: each entry fuses SubBytes, ShiftRows and MixColumns for
+	// one state byte's contribution to an output column, so a round is
+	// 16 lookups and 16 XORs instead of byte-wise transforms. They are
+	// derived at init from the same S-box/gmul construction the byte-wise
+	// reference uses (never embedded as opaque constants) and the tests
+	// cross-check the two paths block-for-block, preserving the package's
+	// auditability story. te1..te3/td1..td3 are byte rotations of te0/td0.
+	te0, te1, te2, te3 [256]uint32
+	td0, td1, td2, td3 [256]uint32
 )
 
 func init() {
@@ -50,6 +65,28 @@ func init() {
 		mul11[i] = gmul(b, 11)
 		mul13[i] = gmul(b, 13)
 		mul14[i] = gmul(b, 14)
+	}
+	initTTables()
+}
+
+// initTTables derives the fused round tables from the S-box and the
+// MixColumns coefficient tables. te0[x] is MixColumns applied to the
+// column (sbox[x], 0, 0, 0); td0[x] is InvMixColumns applied to
+// (invSbox[x], 0, 0, 0). The other three tables of each set serve the
+// remaining rows and are plain byte rotations.
+func initTTables() {
+	rotr8 := func(w uint32) uint32 { return w>>8 | w<<24 }
+	for i := 0; i < 256; i++ {
+		s := sbox[i]
+		te0[i] = uint32(mul2[s])<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(mul3[s])
+		te1[i] = rotr8(te0[i])
+		te2[i] = rotr8(te1[i])
+		te3[i] = rotr8(te2[i])
+		v := invSbox[i]
+		td0[i] = uint32(mul14[v])<<24 | uint32(mul9[v])<<16 | uint32(mul13[v])<<8 | uint32(mul11[v])
+		td1[i] = rotr8(td0[i])
+		td2[i] = rotr8(td1[i])
+		td3[i] = rotr8(td2[i])
 	}
 }
 
@@ -286,9 +323,88 @@ func (s *state) invMixColumns() {
 	}
 }
 
-// Encrypt encrypts the 16-byte block src into dst. dst and src may
-// overlap entirely (in-place) but must each be at least BlockSize long.
+// Encrypt encrypts the 16-byte block src into dst via the T-table fast
+// path. dst and src may overlap entirely (in-place) but must each be at
+// least BlockSize long.
 func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: input or output block too short")
+	}
+	s0 := binary.BigEndian.Uint32(src[0:4])
+	s1 := binary.BigEndian.Uint32(src[4:8])
+	s2 := binary.BigEndian.Uint32(src[8:12])
+	s3 := binary.BigEndian.Uint32(src[12:16])
+	s0, s1, s2, s3 = c.EncryptWords(s0, s1, s2, s3)
+	binary.BigEndian.PutUint32(dst[0:4], s0)
+	binary.BigEndian.PutUint32(dst[4:8], s1)
+	binary.BigEndian.PutUint32(dst[8:12], s2)
+	binary.BigEndian.PutUint32(dst[12:16], s3)
+}
+
+// EncryptWords encrypts one block given (and returning) the four
+// big-endian column words of the state. It is the allocation-free core
+// of Encrypt, exposed so counter-mode pad generation can keep the whole
+// block in registers.
+func (c *Cipher) EncryptWords(s0, s1, s2, s3 uint32) (uint32, uint32, uint32, uint32) {
+	rk := c.enc
+	s0 ^= rk[0]
+	s1 ^= rk[1]
+	s2 ^= rk[2]
+	s3 ^= rk[3]
+	k := 4
+	for r := 1; r < c.rounds; r++ {
+		t0 := te0[s0>>24] ^ te1[s1>>16&0xff] ^ te2[s2>>8&0xff] ^ te3[s3&0xff] ^ rk[k+0]
+		t1 := te0[s1>>24] ^ te1[s2>>16&0xff] ^ te2[s3>>8&0xff] ^ te3[s0&0xff] ^ rk[k+1]
+		t2 := te0[s2>>24] ^ te1[s3>>16&0xff] ^ te2[s0>>8&0xff] ^ te3[s1&0xff] ^ rk[k+2]
+		t3 := te0[s3>>24] ^ te1[s0>>16&0xff] ^ te2[s1>>8&0xff] ^ te3[s2&0xff] ^ rk[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	// Final round: SubBytes and ShiftRows only.
+	t0 := uint32(sbox[s0>>24])<<24 | uint32(sbox[s1>>16&0xff])<<16 | uint32(sbox[s2>>8&0xff])<<8 | uint32(sbox[s3&0xff])
+	t1 := uint32(sbox[s1>>24])<<24 | uint32(sbox[s2>>16&0xff])<<16 | uint32(sbox[s3>>8&0xff])<<8 | uint32(sbox[s0&0xff])
+	t2 := uint32(sbox[s2>>24])<<24 | uint32(sbox[s3>>16&0xff])<<16 | uint32(sbox[s0>>8&0xff])<<8 | uint32(sbox[s1&0xff])
+	t3 := uint32(sbox[s3>>24])<<24 | uint32(sbox[s0>>16&0xff])<<16 | uint32(sbox[s1>>8&0xff])<<8 | uint32(sbox[s2&0xff])
+	return t0 ^ rk[k+0], t1 ^ rk[k+1], t2 ^ rk[k+2], t3 ^ rk[k+3]
+}
+
+// Decrypt decrypts the 16-byte block src into dst using the equivalent
+// inverse cipher over the inverse T-tables. dst and src may overlap
+// entirely.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: input or output block too short")
+	}
+	rk := c.dec
+	s0 := binary.BigEndian.Uint32(src[0:4]) ^ rk[0]
+	s1 := binary.BigEndian.Uint32(src[4:8]) ^ rk[1]
+	s2 := binary.BigEndian.Uint32(src[8:12]) ^ rk[2]
+	s3 := binary.BigEndian.Uint32(src[12:16]) ^ rk[3]
+	k := 4
+	for r := 1; r < c.rounds; r++ {
+		t0 := td0[s0>>24] ^ td1[s3>>16&0xff] ^ td2[s2>>8&0xff] ^ td3[s1&0xff] ^ rk[k+0]
+		t1 := td0[s1>>24] ^ td1[s0>>16&0xff] ^ td2[s3>>8&0xff] ^ td3[s2&0xff] ^ rk[k+1]
+		t2 := td0[s2>>24] ^ td1[s1>>16&0xff] ^ td2[s0>>8&0xff] ^ td3[s3&0xff] ^ rk[k+2]
+		t3 := td0[s3>>24] ^ td1[s2>>16&0xff] ^ td2[s1>>8&0xff] ^ td3[s0&0xff] ^ rk[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	t0 := uint32(invSbox[s0>>24])<<24 | uint32(invSbox[s3>>16&0xff])<<16 | uint32(invSbox[s2>>8&0xff])<<8 | uint32(invSbox[s1&0xff])
+	t1 := uint32(invSbox[s1>>24])<<24 | uint32(invSbox[s0>>16&0xff])<<16 | uint32(invSbox[s3>>8&0xff])<<8 | uint32(invSbox[s2&0xff])
+	t2 := uint32(invSbox[s2>>24])<<24 | uint32(invSbox[s1>>16&0xff])<<16 | uint32(invSbox[s0>>8&0xff])<<8 | uint32(invSbox[s3&0xff])
+	t3 := uint32(invSbox[s3>>24])<<24 | uint32(invSbox[s2>>16&0xff])<<16 | uint32(invSbox[s1>>8&0xff])<<8 | uint32(invSbox[s0&0xff])
+	binary.BigEndian.PutUint32(dst[0:4], t0^rk[k+0])
+	binary.BigEndian.PutUint32(dst[4:8], t1^rk[k+1])
+	binary.BigEndian.PutUint32(dst[8:12], t2^rk[k+2])
+	binary.BigEndian.PutUint32(dst[12:16], t3^rk[k+3])
+}
+
+// EncryptReference is the byte-wise FIPS-197 reference implementation of
+// Encrypt: SubBytes, ShiftRows, MixColumns and AddRoundKey applied as
+// separate auditable steps. The tests assert Encrypt ≡ EncryptReference
+// over the FIPS known-answer vectors and random blocks; the simulator
+// never calls it on a hot path.
+func (c *Cipher) EncryptReference(dst, src []byte) {
 	if len(src) < BlockSize || len(dst) < BlockSize {
 		panic("aes: input or output block too short")
 	}
@@ -306,9 +422,9 @@ func (c *Cipher) Encrypt(dst, src []byte) {
 	s.store(dst)
 }
 
-// Decrypt decrypts the 16-byte block src into dst using the equivalent
-// inverse cipher. dst and src may overlap entirely.
-func (c *Cipher) Decrypt(dst, src []byte) {
+// DecryptReference is the byte-wise equivalent-inverse-cipher reference
+// implementation of Decrypt (see EncryptReference).
+func (c *Cipher) DecryptReference(dst, src []byte) {
 	if len(src) < BlockSize || len(dst) < BlockSize {
 		panic("aes: input or output block too short")
 	}

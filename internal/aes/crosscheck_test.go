@@ -1,0 +1,114 @@
+package aes
+
+import (
+	"bytes"
+	"testing"
+
+	"ctrpred/internal/rng"
+)
+
+// TestReferenceFIPS197Vectors runs the Appendix C known-answer vectors
+// through the byte-wise reference path for all three key sizes, so the
+// reference stays a valid oracle for the cross-check below.
+func TestReferenceFIPS197Vectors(t *testing.T) {
+	for _, v := range fipsVectors {
+		key := unhex(t, v.key)
+		c, err := New(key)
+		if err != nil {
+			t.Fatalf("New(%d-byte key): %v", len(key), err)
+		}
+		got := make([]byte, BlockSize)
+		c.EncryptReference(got, unhex(t, v.plain))
+		if want := unhex(t, v.cipher); !bytes.Equal(got, want) {
+			t.Errorf("AES-%d reference encrypt = %x, want %x", len(key)*8, got, want)
+		}
+		dec := make([]byte, BlockSize)
+		c.DecryptReference(dec, unhex(t, v.cipher))
+		if want := unhex(t, v.plain); !bytes.Equal(dec, want) {
+			t.Errorf("AES-%d reference decrypt = %x, want %x", len(key)*8, dec, want)
+		}
+	}
+}
+
+// TestTTableMatchesReference cross-checks the T-table production path
+// against the byte-wise reference on 10k random blocks per key size, in
+// both directions. The T-tables are derived from the same S-box/gmul
+// construction as the reference, so disagreement anywhere means a table
+// derivation bug.
+func TestTTableMatchesReference(t *testing.T) {
+	const blocks = 10_000
+	r := rng.New(0x7ab1e5)
+	for _, keyLen := range []int{KeySize128, KeySize192, KeySize256} {
+		key := make([]byte, keyLen)
+		for i := range key {
+			key[i] = byte(r.Uint64())
+		}
+		c, err := New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var src, fast, ref [BlockSize]byte
+		for n := 0; n < blocks; n++ {
+			for i := 0; i < BlockSize; i += 8 {
+				v := r.Uint64()
+				for j := 0; j < 8; j++ {
+					src[i+j] = byte(v >> (8 * j))
+				}
+			}
+			c.Encrypt(fast[:], src[:])
+			c.EncryptReference(ref[:], src[:])
+			if fast != ref {
+				t.Fatalf("AES-%d block %d: T-table encrypt %x != reference %x (src %x)",
+					keyLen*8, n, fast, ref, src)
+			}
+			c.Decrypt(fast[:], src[:])
+			c.DecryptReference(ref[:], src[:])
+			if fast != ref {
+				t.Fatalf("AES-%d block %d: T-table decrypt %x != reference %x (src %x)",
+					keyLen*8, n, fast, ref, src)
+			}
+		}
+	}
+}
+
+// TestEncryptWordsMatchesEncrypt pins the word-level API (used by the
+// counter-mode pad path) to the byte-slice API.
+func TestEncryptWordsMatchesEncrypt(t *testing.T) {
+	r := rng.New(42)
+	var key [32]byte
+	for i := range key {
+		key[i] = byte(r.Uint64())
+	}
+	c := Must256(key)
+	for n := 0; n < 1000; n++ {
+		var src [BlockSize]byte
+		for i := range src {
+			src[i] = byte(r.Uint64())
+		}
+		want := c.EncryptBlock(src)
+		s0 := uint32(src[0])<<24 | uint32(src[1])<<16 | uint32(src[2])<<8 | uint32(src[3])
+		s1 := uint32(src[4])<<24 | uint32(src[5])<<16 | uint32(src[6])<<8 | uint32(src[7])
+		s2 := uint32(src[8])<<24 | uint32(src[9])<<16 | uint32(src[10])<<8 | uint32(src[11])
+		s3 := uint32(src[12])<<24 | uint32(src[13])<<16 | uint32(src[14])<<8 | uint32(src[15])
+		w0, w1, w2, w3 := c.EncryptWords(s0, s1, s2, s3)
+		var got [BlockSize]byte
+		for i, w := range [4]uint32{w0, w1, w2, w3} {
+			got[4*i] = byte(w >> 24)
+			got[4*i+1] = byte(w >> 16)
+			got[4*i+2] = byte(w >> 8)
+			got[4*i+3] = byte(w)
+		}
+		if got != want {
+			t.Fatalf("block %d: EncryptWords %x != Encrypt %x", n, got, want)
+		}
+	}
+}
+
+func BenchmarkEncryptReference256(b *testing.B) {
+	c := Must256([32]byte{1})
+	var block [16]byte
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.EncryptReference(block[:], block[:])
+	}
+}

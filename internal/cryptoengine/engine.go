@@ -128,6 +128,15 @@ func (e *Engine) Stats() Stats { return e.stats }
 // serviced in issue order; if the current cycle's issue slots are full the
 // request slips to a later cycle (recorded as stall time).
 func (e *Engine) Compute(now uint64, vaddr, seq uint64, class Class) (ctr.Pad, uint64) {
+	var pad ctr.Pad
+	ready := e.ComputeInto(&pad, now, vaddr, seq, class)
+	return pad, ready
+}
+
+// ComputeInto is Compute writing the pad into dst — the allocation-free
+// form the fetch and eviction hot paths use. Timing and accounting are
+// identical to Compute.
+func (e *Engine) ComputeInto(dst *ctr.Pad, now uint64, vaddr, seq uint64, class Class) uint64 {
 	start := e.reserveSlot(now)
 	e.stats.Issued[class]++
 	if start > now {
@@ -137,7 +146,8 @@ func (e *Engine) Compute(now uint64, vaddr, seq uint64, class Class) (ctr.Pad, u
 	if ready > e.stats.LastBusy {
 		e.stats.LastBusy = ready
 	}
-	return e.ks.Pad(vaddr, seq), ready
+	e.ks.PadInto(dst, vaddr, seq)
+	return ready
 }
 
 // ScheduleOnly reserves a pipeline slot and returns the ready cycle

@@ -56,17 +56,64 @@ func (k *Keystream) DirectCipher() *DirectCipher {
 // Pad computes the OTP for the line whose first byte lives at virtual
 // address vaddr (which must be line-aligned) under sequence number seq.
 func (k *Keystream) Pad(vaddr, seq uint64) Pad {
+	var pad Pad
+	k.PadInto(&pad, vaddr, seq)
+	return pad
+}
+
+// PadInto computes the OTP for the line at line-aligned vaddr under seq
+// directly into *dst. It is the allocation-free core of Pad: the two
+// counter blocks (vaddr‖seq and vaddr+16‖seq) are assembled as state
+// words and run through the cipher's word-level path, so the whole pad
+// stays in registers until the final store.
+func (k *Keystream) PadInto(dst *Pad, vaddr, seq uint64) {
 	if vaddr%LineSize != 0 {
 		panic("ctr: pad address not line-aligned")
 	}
-	var pad Pad
-	var in [aes.BlockSize]byte
+	seqHi, seqLo := uint32(seq>>32), uint32(seq)
 	for half := 0; half < LineSize/HalfLine; half++ {
-		binary.BigEndian.PutUint64(in[0:8], vaddr+uint64(half*HalfLine))
-		binary.BigEndian.PutUint64(in[8:16], seq)
-		k.cipher.Encrypt(pad[half*HalfLine:], in[:])
+		a := vaddr + uint64(half*HalfLine)
+		w0, w1, w2, w3 := k.cipher.EncryptWords(uint32(a>>32), uint32(a), seqHi, seqLo)
+		o := half * HalfLine
+		binary.BigEndian.PutUint32(dst[o:o+4], w0)
+		binary.BigEndian.PutUint32(dst[o+4:o+8], w1)
+		binary.BigEndian.PutUint32(dst[o+8:o+12], w2)
+		binary.BigEndian.PutUint32(dst[o+12:o+16], w3)
 	}
-	return pad
+}
+
+// PadsInto computes one pad per sequence number in seqs, all for the
+// line at vaddr, into dst[:len(seqs)] — the bulk API behind speculative
+// precomputation, where one miss wants pads for every guessed counter.
+// The address half of the counter blocks is assembled once and shared
+// across the batch; nothing is allocated. It panics if dst is shorter
+// than seqs.
+func (k *Keystream) PadsInto(dst []Pad, vaddr uint64, seqs []uint64) {
+	if vaddr%LineSize != 0 {
+		panic("ctr: pad address not line-aligned")
+	}
+	if len(dst) < len(seqs) {
+		panic("ctr: PadsInto destination shorter than sequence list")
+	}
+	// Shared counter-block setup: both halves' address words are fixed
+	// for the whole batch; only the sequence words vary per pad.
+	a0hi, a0lo := uint32(vaddr>>32), uint32(vaddr)
+	a1 := vaddr + HalfLine
+	a1hi, a1lo := uint32(a1>>32), uint32(a1)
+	for i, seq := range seqs {
+		seqHi, seqLo := uint32(seq>>32), uint32(seq)
+		p := &dst[i]
+		w0, w1, w2, w3 := k.cipher.EncryptWords(a0hi, a0lo, seqHi, seqLo)
+		binary.BigEndian.PutUint32(p[0:4], w0)
+		binary.BigEndian.PutUint32(p[4:8], w1)
+		binary.BigEndian.PutUint32(p[8:12], w2)
+		binary.BigEndian.PutUint32(p[12:16], w3)
+		w0, w1, w2, w3 = k.cipher.EncryptWords(a1hi, a1lo, seqHi, seqLo)
+		binary.BigEndian.PutUint32(p[16:20], w0)
+		binary.BigEndian.PutUint32(p[20:24], w1)
+		binary.BigEndian.PutUint32(p[24:28], w2)
+		binary.BigEndian.PutUint32(p[28:32], w3)
+	}
 }
 
 // XORLine XORs line with pad, writing into dst. dst may alias line.
@@ -78,10 +125,17 @@ func XORLine(dst *Line, line *Line, pad *Pad) {
 
 // EncryptLine returns the ciphertext of plain at vaddr under seq.
 func (k *Keystream) EncryptLine(plain Line, vaddr, seq uint64) Line {
-	pad := k.Pad(vaddr, seq)
 	var out Line
-	XORLine(&out, &plain, &pad)
+	k.EncryptLineInto(&out, &plain, vaddr, seq)
 	return out
+}
+
+// EncryptLineInto encrypts *plain at vaddr under seq into *out without
+// copying lines by value. out may alias plain.
+func (k *Keystream) EncryptLineInto(out *Line, plain *Line, vaddr, seq uint64) {
+	var pad Pad
+	k.PadInto(&pad, vaddr, seq)
+	XORLine(out, plain, &pad)
 }
 
 // DecryptLine returns the plaintext of cipher at vaddr under seq. Counter

@@ -3,38 +3,40 @@
 // operate on this image; package secmem keeps the encrypted off-chip copy
 // and checks, on every fetch, that decrypting it reproduces this image.
 //
-// Storage is sparse at cache-line granularity so multi-gigabyte address
-// spaces cost only what a workload touches. Values are little-endian.
+// Storage is line-granular over a paged backing store (package paged):
+// the bounded working sets the workloads touch live in flat per-page
+// arrays — no hashing on the load/store hot path — while multi-gigabyte
+// address spaces still cost only what a workload touches, with a sparse
+// fallback beyond the dense horizon. Values are little-endian.
 package mem
 
 import (
 	"fmt"
 
 	"ctrpred/internal/ctr"
+	"ctrpred/internal/paged"
 )
 
-// Memory is a sparse line-granular byte store. The zero value is not
-// usable; call New.
+// Memory is a line-granular byte store. The zero value is not usable;
+// call New.
 type Memory struct {
-	lines map[uint64]*ctr.Line
+	lines *paged.Table[ctr.Line]
 }
 
 // New creates an empty memory.
 func New() *Memory {
-	return &Memory{lines: make(map[uint64]*ctr.Line)}
+	return &Memory{lines: paged.New[ctr.Line](ctr.LineSize)}
 }
 
 // LineAddr returns addr rounded down to its 32-byte line.
 func LineAddr(addr uint64) uint64 { return addr &^ uint64(ctr.LineSize-1) }
 
 func (m *Memory) line(addr uint64, create bool) *ctr.Line {
-	la := LineAddr(addr)
-	l := m.lines[la]
-	if l == nil && create {
-		l = new(ctr.Line)
-		m.lines[la] = l
+	if create {
+		l, _ := m.lines.Ensure(addr)
+		return l
 	}
-	return l
+	return m.lines.Lookup(addr)
 }
 
 // checkSpan panics if an access of size bytes at addr crosses a line
@@ -55,7 +57,7 @@ func checkSpan(addr uint64, size int) {
 // little-endian. Unwritten memory reads as zero.
 func (m *Memory) Load(addr uint64, size int) uint64 {
 	checkSpan(addr, size)
-	l := m.line(addr, false)
+	l := m.lines.Lookup(addr)
 	if l == nil {
 		return 0
 	}
@@ -70,7 +72,7 @@ func (m *Memory) Load(addr uint64, size int) uint64 {
 // Store writes the low size bytes of val at addr, little-endian.
 func (m *Memory) Store(addr uint64, size int, val uint64) {
 	checkSpan(addr, size)
-	l := m.line(addr, true)
+	l, _ := m.lines.Ensure(addr)
 	off := int(addr % uint64(ctr.LineSize))
 	for i := 0; i < size; i++ {
 		l[off+i] = byte(val >> (8 * i))
@@ -79,10 +81,18 @@ func (m *Memory) Store(addr uint64, size int, val uint64) {
 
 // LineAt returns a copy of the line containing addr.
 func (m *Memory) LineAt(addr uint64) ctr.Line {
-	if l := m.line(addr, false); l != nil {
+	if l := m.lines.Lookup(addr); l != nil {
 		return *l
 	}
 	return ctr.Line{}
+}
+
+// LineRef returns a pointer to the line containing addr, or nil if the
+// line was never written — the copy-free variant of LineAt for hot paths
+// (the secure controller's per-fetch self-check and writeback
+// encryption). Callers must not retain the pointer across stores.
+func (m *Memory) LineRef(addr uint64) *ctr.Line {
+	return m.lines.Lookup(addr)
 }
 
 // SetLine replaces the line containing addr.
@@ -92,24 +102,34 @@ func (m *Memory) SetLine(addr uint64, data ctr.Line) {
 
 // WriteBytes copies p into memory starting at addr (image loading).
 func (m *Memory) WriteBytes(addr uint64, p []byte) {
-	for i, b := range p {
-		a := addr + uint64(i)
-		l := m.line(a, true)
-		l[a%uint64(ctr.LineSize)] = b
+	for len(p) > 0 {
+		l, _ := m.lines.Ensure(addr)
+		off := int(addr % uint64(ctr.LineSize))
+		n := copy(l[off:], p)
+		p = p[n:]
+		addr += uint64(n)
 	}
 }
 
 // ReadBytes copies len(p) bytes starting at addr into p.
 func (m *Memory) ReadBytes(addr uint64, p []byte) {
-	for i := range p {
-		a := addr + uint64(i)
-		if l := m.line(a, false); l != nil {
-			p[i] = l[a%uint64(ctr.LineSize)]
-		} else {
-			p[i] = 0
+	for i := 0; i < len(p); {
+		off := int(addr % uint64(ctr.LineSize))
+		n := ctr.LineSize - off
+		if n > len(p)-i {
+			n = len(p) - i
 		}
+		if l := m.lines.Lookup(addr); l != nil {
+			copy(p[i:i+n], l[off:])
+		} else {
+			for j := i; j < i+n; j++ {
+				p[j] = 0
+			}
+		}
+		i += n
+		addr += uint64(n)
 	}
 }
 
 // TouchedLines reports how many distinct lines have been written.
-func (m *Memory) TouchedLines() int { return len(m.lines) }
+func (m *Memory) TouchedLines() int { return m.lines.Count() }

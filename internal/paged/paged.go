@@ -1,0 +1,120 @@
+// Package paged provides the line-granular backing store behind the
+// simulator's hot memory tables (the architectural image in package mem
+// and the encrypted-RAM state in package secmem). The seed implementation
+// kept those tables in Go maps, which put a hash + probe on every load,
+// store and fetch; workload footprints are bounded and known at config
+// time, so the common case deserves plain array indexing.
+//
+// A Table divides the line-address space into fixed 64 KiB pages (2048
+// 32-byte lines). Pages below the dense horizon (4 GiB) live behind a
+// flat pointer directory grown on demand — one shift, one bounds check
+// and two indexed loads per access, no hashing. Pages beyond the horizon
+// (nothing the built-in workloads generate, but the API must not care)
+// fall back to a sparse map. A per-page bitmap distinguishes touched
+// lines from never-written ones so lookups of untouched memory cost no
+// allocation and sparse-map semantics ("present or not") are preserved
+// exactly.
+package paged
+
+import "fmt"
+
+const (
+	// pageLineBits sets the page capacity: 2^11 lines = 64 KiB of
+	// address space per page at 32-byte lines.
+	pageLineBits = 11
+	pageLines    = 1 << pageLineBits
+	// denseMaxPages bounds the flat directory: pages below cover the
+	// first 4 GiB of address space; the directory itself grows lazily
+	// and tops out at 512 KiB of pointers.
+	denseMaxPages = 1 << 16
+)
+
+type page[V any] struct {
+	lines [pageLines]V
+	used  [pageLines / 64]uint64
+}
+
+// Table is a line-granular store of V keyed by byte address. The zero
+// value is not usable; call New.
+type Table[V any] struct {
+	lineShift uint
+	dense     []*page[V]
+	sparse    map[uint64]*page[V]
+	count     int
+}
+
+// New creates a table for the given line size (a power of two; 32 for
+// every table in the simulator). Addresses passed to Lookup/Ensure are
+// byte addresses; all bytes of one line share one V.
+func New[V any](lineSize int) *Table[V] {
+	if lineSize <= 0 || lineSize&(lineSize-1) != 0 {
+		panic(fmt.Sprintf("paged: line size %d is not a positive power of two", lineSize))
+	}
+	var shift uint
+	for s := lineSize; s > 1; s >>= 1 {
+		shift++
+	}
+	return &Table[V]{lineShift: shift}
+}
+
+// Lookup returns a pointer to the value of the line containing addr, or
+// nil if that line was never Ensured. It never allocates.
+func (t *Table[V]) Lookup(addr uint64) *V {
+	li := addr >> t.lineShift
+	pi := li >> pageLineBits
+	var p *page[V]
+	if pi < uint64(len(t.dense)) {
+		p = t.dense[pi]
+	} else if pi >= denseMaxPages {
+		p = t.sparse[pi]
+	}
+	if p == nil {
+		return nil
+	}
+	slot := li & (pageLines - 1)
+	if p.used[slot>>6]&(1<<(slot&63)) == 0 {
+		return nil
+	}
+	return &p.lines[slot]
+}
+
+// Ensure returns a pointer to the value of the line containing addr,
+// creating it (zero-valued) if absent, and reports whether this call
+// created it.
+func (t *Table[V]) Ensure(addr uint64) (v *V, fresh bool) {
+	li := addr >> t.lineShift
+	pi := li >> pageLineBits
+	var p *page[V]
+	if pi < denseMaxPages {
+		if pi >= uint64(len(t.dense)) {
+			grown := make([]*page[V], pi+1)
+			copy(grown, t.dense)
+			t.dense = grown
+		}
+		p = t.dense[pi]
+		if p == nil {
+			p = new(page[V])
+			t.dense[pi] = p
+		}
+	} else {
+		if t.sparse == nil {
+			t.sparse = make(map[uint64]*page[V])
+		}
+		p = t.sparse[pi]
+		if p == nil {
+			p = new(page[V])
+			t.sparse[pi] = p
+		}
+	}
+	slot := li & (pageLines - 1)
+	word, bit := slot>>6, uint64(1)<<(slot&63)
+	if p.used[word]&bit == 0 {
+		p.used[word] |= bit
+		t.count++
+		fresh = true
+	}
+	return &p.lines[slot], fresh
+}
+
+// Count reports how many distinct lines have been Ensured.
+func (t *Table[V]) Count() int { return t.count }

@@ -1,0 +1,122 @@
+package paged
+
+import (
+	"testing"
+
+	"ctrpred/internal/rng"
+)
+
+func TestLookupAbsent(t *testing.T) {
+	tab := New[uint64](32)
+	for _, addr := range []uint64{0, 31, 32, 1 << 20, 1 << 40, 1<<63 + 96} {
+		if p := tab.Lookup(addr); p != nil {
+			t.Errorf("Lookup(%#x) on empty table = %v, want nil", addr, p)
+		}
+	}
+	if tab.Count() != 0 {
+		t.Errorf("Count = %d, want 0", tab.Count())
+	}
+}
+
+func TestEnsureLookupRoundTrip(t *testing.T) {
+	tab := New[uint64](32)
+	// Dense, dense-boundary, and sparse (beyond 4 GiB) addresses, plus
+	// same-line aliases.
+	addrs := []uint64{0, 32, 33, 4096, 1 << 20, 1<<32 - 32, 1 << 32, 1 << 40, 1<<48 + 64}
+	for i, addr := range addrs {
+		v, fresh := tab.Ensure(addr)
+		*v = uint64(i + 100)
+		al := addr &^ 31 // any byte of the line aliases it
+		if got := tab.Lookup(al + 7); got == nil || *got != uint64(i+100) {
+			t.Fatalf("Lookup(%#x) after Ensure(%#x) = %v", al+7, addr, got)
+		}
+		// addr 33 shares line with addr 32.
+		if addr == 33 && fresh {
+			t.Error("Ensure(33) fresh after Ensure(32)")
+		}
+	}
+	if want := len(addrs) - 1; tab.Count() != want { // 32 and 33 share a line
+		t.Errorf("Count = %d, want %d", tab.Count(), want)
+	}
+}
+
+func TestEnsureFreshOnce(t *testing.T) {
+	tab := New[int](32)
+	if _, fresh := tab.Ensure(64); !fresh {
+		t.Fatal("first Ensure not fresh")
+	}
+	if _, fresh := tab.Ensure(64); fresh {
+		t.Fatal("second Ensure fresh")
+	}
+	if _, fresh := tab.Ensure(95); fresh {
+		t.Fatal("same-line Ensure fresh")
+	}
+	if _, fresh := tab.Ensure(96); !fresh {
+		t.Fatal("next-line Ensure not fresh")
+	}
+}
+
+func TestDenseSparseAgree(t *testing.T) {
+	// Same random workload through the table and a reference map.
+	tab := New[uint64](32)
+	ref := map[uint64]uint64{}
+	r := rng.New(11)
+	for n := 0; n < 50_000; n++ {
+		// Mix of dense (low) and sparse (high) regions.
+		addr := r.Uint64() % (1 << 24)
+		if r.Bool(0.1) {
+			addr += 1 << 44
+		}
+		la := addr &^ 31
+		if r.Bool(0.5) {
+			v, _ := tab.Ensure(addr)
+			*v = uint64(n)
+			ref[la] = uint64(n)
+		} else {
+			got := tab.Lookup(addr)
+			want, ok := ref[la]
+			switch {
+			case got == nil && ok:
+				t.Fatalf("Lookup(%#x) = nil, want %d", addr, want)
+			case got != nil && !ok:
+				t.Fatalf("Lookup(%#x) = %d, want absent", addr, *got)
+			case got != nil && *got != want:
+				t.Fatalf("Lookup(%#x) = %d, want %d", addr, *got, want)
+			}
+		}
+	}
+	if tab.Count() != len(ref) {
+		t.Errorf("Count = %d, want %d", tab.Count(), len(ref))
+	}
+}
+
+func TestLookupAllocFree(t *testing.T) {
+	tab := New[uint64](32)
+	tab.Ensure(1 << 20)
+	if n := testing.AllocsPerRun(200, func() {
+		tab.Lookup(1 << 20)
+		tab.Lookup(1 << 21) // absent line, present page directory range? still no alloc
+		tab.Lookup(1 << 50) // sparse miss
+	}); n != 0 {
+		t.Errorf("Lookup allocates %v times per run, want 0", n)
+	}
+	// Steady-state Ensure of an existing line must not allocate either.
+	if n := testing.AllocsPerRun(200, func() {
+		tab.Ensure(1 << 20)
+	}); n != 0 {
+		t.Errorf("steady-state Ensure allocates %v times per run, want 0", n)
+	}
+}
+
+func TestBadLineSizePanics(t *testing.T) {
+	for _, sz := range []int{0, -1, 3, 48} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", sz)
+				}
+			}()
+			New[int](sz)
+		}()
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"ctrpred/internal/dram"
 	"ctrpred/internal/integrity"
 	"ctrpred/internal/mem"
+	"ctrpred/internal/paged"
 	"ctrpred/internal/predictor"
 	"ctrpred/internal/seqcache"
 	"ctrpred/internal/stats"
@@ -130,13 +131,18 @@ type Controller struct {
 	scache  *seqcache.Cache // nil when the design has no seq cache
 	image   *mem.Memory     // architectural plaintext
 
-	enc      map[uint64]ctr.Line // encrypted RAM, by line address
-	seq      map[uint64]uint64   // counter table, by line address
-	tree     *integrity.Tree     // optional hash-tree integrity protection
-	direct   *ctr.DirectCipher   // non-nil in direct mode
-	tampered map[uint64]bool     // lines the test adversary corrupted
-	tracker  ctr.PadTracker
-	stats    Stats
+	// state is the untrusted-RAM model: per line, the ciphertext, the
+	// counter, and whether the test adversary corrupted it. The working
+	// set is bounded and known at config time, so it lives in paged
+	// backing arrays (flat indexing, no hashing on the fetch/evict hot
+	// path) with a sparse fallback beyond the dense horizon; a line is
+	// materialized exactly when its table entry exists.
+	state  *paged.Table[lineState]
+	tree   *integrity.Tree   // optional hash-tree integrity protection
+	direct *ctr.DirectCipher // non-nil in direct mode
+
+	tracker ctr.PadTracker
+	stats   Stats
 
 	// seqBuf is the counter-line fetch buffer: counters are fetched at
 	// DRAM burst granularity (a 32-byte counter line covers four memory
@@ -147,6 +153,15 @@ type Controller struct {
 	seqBuf     [4]uint64
 	seqBufAge  [4]uint64
 	seqBufTick uint64
+}
+
+// lineState is one protected line's off-chip state.
+type lineState struct {
+	enc ctr.Line // encrypted RAM contents
+	seq uint64   // counter-table entry
+	// tampered marks ciphertext the test adversary corrupted, so the
+	// plaintext self-check knows not to expect a faithful decryption.
+	tampered bool
 }
 
 // New wires a controller. pred must be non-nil (use predictor.SchemeNone
@@ -183,8 +198,7 @@ func New(cfg Config, d *dram.DRAM, e *cryptoengine.Engine, pred *predictor.Predi
 		pred:    pred,
 		scache:  sc,
 		image:   image,
-		enc:     make(map[uint64]ctr.Line),
-		seq:     make(map[uint64]uint64),
+		state:   paged.New[lineState](ctr.LineSize),
 		stats:   Stats{FetchLatency: stats.NewHistogram(100, 150, 200, 300, 500)},
 	}
 }
@@ -205,7 +219,7 @@ func (c *Controller) PadViolations() uint64 { return c.tracker.Violations }
 // update of every writeback. Must be called before any line is touched so
 // the tree covers the whole image.
 func (c *Controller) AttachIntegrity(t *integrity.Tree) {
-	if len(c.enc) != 0 {
+	if c.state.Count() != 0 {
 		panic("secmem: AttachIntegrity after lines were touched")
 	}
 	c.tree = t
@@ -221,14 +235,9 @@ func (c *Controller) IntegrityTree() *integrity.Tree { return c.tree }
 // suppressed for tampered lines so experiments can observe the effect.
 func (c *Controller) TamperLine(vaddr uint64, bit int) {
 	la := mem.LineAddr(vaddr)
-	c.materialize(la)
-	l := c.enc[la]
-	l[(bit/8)%ctr.LineSize] ^= 1 << (bit % 8)
-	c.enc[la] = l
-	if c.tampered == nil {
-		c.tampered = make(map[uint64]bool)
-	}
-	c.tampered[la] = true
+	st := c.materialize(la)
+	st.enc[(bit/8)%ctr.LineSize] ^= 1 << (bit % 8)
+	st.tampered = true
 }
 
 func (c *Controller) seqAddr(lineAddr uint64) uint64 {
@@ -261,27 +270,30 @@ func (c *Controller) fetchCounter(now uint64, la uint64) uint64 {
 // materialize lazily creates the encrypted copy of a line the first time
 // the off-chip image is touched, modeling the loader writing the program
 // image through the crypto engine with the page's initial (root) counter.
-func (c *Controller) materialize(la uint64) {
-	if _, ok := c.enc[la]; ok {
-		return
+// It returns the line's off-chip state.
+func (c *Controller) materialize(la uint64) *lineState {
+	st, fresh := c.state.Ensure(la)
+	if !fresh {
+		return st
 	}
 	if c.direct != nil {
-		c.enc[la] = c.direct.EncryptLine(c.image.LineAt(la), la)
+		st.enc = c.direct.EncryptLine(c.image.LineAt(la), la)
 		if c.tree != nil {
-			c.tree.Update(0, la, 0, c.enc[la])
+			c.tree.Update(0, la, 0, st.enc)
 		}
-		return
+		return st
 	}
 	root := c.pred.Root(la)
-	c.seq[la] = root
+	st.seq = root
 	plain := c.image.LineAt(la)
-	c.enc[la] = c.engine.Keystream().EncryptLine(plain, la, root)
+	c.engine.Keystream().EncryptLineInto(&st.enc, &plain, la, root)
 	if c.cfg.SelfCheck {
 		c.tracker.RecordEncrypt(la, root)
 	}
 	if c.tree != nil {
-		c.tree.Update(0, la, root, c.enc[la]) // image load: untimed
+		c.tree.Update(0, la, root, st.enc) // image load: untimed
 	}
+	return st
 }
 
 // AgeLine initializes the counter of the line containing vaddr to
@@ -291,17 +303,19 @@ func (c *Controller) materialize(la uint64) {
 // fetched or evicted; calls after the line has been touched are ignored.
 func (c *Controller) AgeLine(vaddr uint64, offset uint64) {
 	la := mem.LineAddr(vaddr)
-	if _, touched := c.enc[la]; touched {
+	if c.state.Lookup(la) != nil {
 		return
 	}
+	st, _ := c.state.Ensure(la)
 	seq := c.pred.Root(la) + offset
-	c.seq[la] = seq
-	c.enc[la] = c.engine.Keystream().EncryptLine(c.image.LineAt(la), la, seq)
+	st.seq = seq
+	plain := c.image.LineAt(la)
+	c.engine.Keystream().EncryptLineInto(&st.enc, &plain, la, seq)
 	if c.cfg.SelfCheck {
 		c.tracker.RecordEncrypt(la, seq)
 	}
 	if c.tree != nil {
-		c.tree.Update(0, la, seq, c.enc[la])
+		c.tree.Update(0, la, seq, st.enc)
 	}
 }
 
@@ -309,13 +323,13 @@ func (c *Controller) AgeLine(vaddr uint64, offset uint64) {
 // at cycle now. It returns the decrypted line and full timing detail.
 func (c *Controller) FetchLine(now uint64, vaddr uint64) FetchResult {
 	la := mem.LineAddr(vaddr)
-	c.materialize(la)
+	st := c.materialize(la)
 	c.stats.Fetches++
 	if c.direct != nil {
-		return c.fetchDirect(now, la)
+		return c.fetchDirect(now, la, st)
 	}
 
-	trueSeq := c.seq[la]
+	trueSeq := st.seq
 	res := FetchResult{TrueSeq: trueSeq}
 
 	// Counter availability. The counter fetch is issued ahead of the line
@@ -362,7 +376,7 @@ func (c *Controller) FetchLine(now uint64, vaddr uint64) FetchResult {
 					// pad's value is unobservable, its timing is not).
 					if g == trueSeq && !predicted {
 						predicted = true
-						pad, padReady = c.engine.Compute(now, la, g, cryptoengine.ClassPrediction)
+						padReady = c.engine.ComputeInto(&pad, now, la, g, cryptoengine.ClassPrediction)
 					} else {
 						c.engine.ScheduleOnly(now, cryptoengine.ClassPrediction)
 					}
@@ -389,20 +403,19 @@ func (c *Controller) FetchLine(now uint64, vaddr uint64) FetchResult {
 		}
 	}
 	if !predicted || res.SeqHit {
-		pad, padReady = c.engine.Compute(res.SeqDone, la, trueSeq, cryptoengine.ClassDemand)
+		padReady = c.engine.ComputeInto(&pad, res.SeqDone, la, trueSeq, cryptoengine.ClassDemand)
 	}
 
 	// Decrypt once both ciphertext and pad are in hand (+1 cycle XOR).
 	res.Done = maxU64(res.LineDone, padReady) + 1
-	encLine := c.enc[la]
-	ctr.XORLine(&res.Plain, &encLine, &pad)
+	ctr.XORLine(&res.Plain, &st.enc, &pad)
 
 	// Integrity verification proceeds from ciphertext arrival, in
 	// parallel with pad generation; data is architecturally usable only
 	// once both decryption and verification complete.
 	res.Authentic = true
 	if c.tree != nil {
-		ok, vDone := c.tree.Verify(res.LineDone, la, trueSeq, encLine)
+		ok, vDone := c.tree.Verify(res.LineDone, la, trueSeq, st.enc)
 		res.Authentic = ok
 		if vDone+1 > res.Done {
 			res.Done = vDone + 1
@@ -412,8 +425,9 @@ func (c *Controller) FetchLine(now uint64, vaddr uint64) FetchResult {
 		}
 	}
 
-	if c.cfg.SelfCheck && res.Authentic && !c.tampered[la] {
-		if want := c.image.LineAt(la); res.Plain != want {
+	if c.cfg.SelfCheck && res.Authentic && !st.tampered {
+		want := c.image.LineRef(la) // nil for never-written memory, which reads as zero
+		if (want != nil && res.Plain != *want) || (want == nil && res.Plain != (ctr.Line{})) {
 			c.stats.SelfCheckFails++
 			panic(fmt.Sprintf("secmem: decryption mismatch at %#x (seq %d)", la, trueSeq))
 		}
@@ -429,16 +443,15 @@ func (c *Controller) FetchLine(now uint64, vaddr uint64) FetchResult {
 // fetchDirect services a miss under direct encryption: decryption can
 // only start once the whole ciphertext has arrived — the serialization
 // counter mode exists to break.
-func (c *Controller) fetchDirect(now uint64, la uint64) FetchResult {
+func (c *Controller) fetchDirect(now uint64, la uint64, st *lineState) FetchResult {
 	res := FetchResult{Authentic: true}
 	res.LineDone = c.dram.Access(now, la, ctr.LineSize, false)
 	res.SeqDone = res.LineDone // no counters in this mode
 	ready := c.engine.ScheduleOnly(res.LineDone, cryptoengine.ClassDemand)
 	res.Done = ready + 1
-	encLine := c.enc[la]
-	res.Plain = c.direct.DecryptLine(encLine, la)
+	res.Plain = c.direct.DecryptLine(st.enc, la)
 	if c.tree != nil {
-		ok, vDone := c.tree.Verify(res.LineDone, la, 0, encLine)
+		ok, vDone := c.tree.Verify(res.LineDone, la, 0, st.enc)
 		res.Authentic = ok
 		if vDone+1 > res.Done {
 			res.Done = vDone + 1
@@ -447,7 +460,7 @@ func (c *Controller) fetchDirect(now uint64, la uint64) FetchResult {
 			c.stats.TamperDetected++
 		}
 	}
-	if c.cfg.SelfCheck && res.Authentic && !c.tampered[la] {
+	if c.cfg.SelfCheck && res.Authentic && !st.tampered {
 		if want := c.image.LineAt(la); res.Plain != want {
 			c.stats.SelfCheckFails++
 			panic(fmt.Sprintf("secmem: direct decryption mismatch at %#x", la))
@@ -466,26 +479,29 @@ func (c *Controller) fetchDirect(now uint64, la uint64) FetchResult {
 // buffered in hardware, so callers normally ignore it beyond statistics.
 func (c *Controller) EvictLine(now uint64, vaddr uint64) uint64 {
 	la := mem.LineAddr(vaddr)
-	c.materialize(la) // a store-allocated line may never have been fetched
+	st := c.materialize(la) // a store-allocated line may never have been fetched
 	c.stats.Evictions++
 	if c.direct != nil {
-		return c.evictDirect(now, la)
+		return c.evictDirect(now, la, st)
 	}
 
-	next := c.pred.NextSeqForEvict(la, c.seq[la])
-	c.seq[la] = next
+	next := c.pred.NextSeqForEvict(la, st.seq)
+	st.seq = next
 
-	pad, padReady := c.engine.Compute(now, la, next, cryptoengine.ClassWriteback)
-	plain := c.image.LineAt(la)
-	var encLine ctr.Line
-	ctr.XORLine(&encLine, &plain, &pad)
-	c.enc[la] = encLine
-	delete(c.tampered, la) // a legitimate writeback replaces corrupted data
+	var pad ctr.Pad
+	padReady := c.engine.ComputeInto(&pad, now, la, next, cryptoengine.ClassWriteback)
+	if plain := c.image.LineRef(la); plain != nil {
+		ctr.XORLine(&st.enc, plain, &pad)
+	} else {
+		var zero ctr.Line
+		ctr.XORLine(&st.enc, &zero, &pad)
+	}
+	st.tampered = false // a legitimate writeback replaces corrupted data
 	if c.cfg.SelfCheck {
 		c.tracker.RecordEncrypt(la, next)
 	}
 	if c.tree != nil {
-		c.tree.Update(now, la, next, encLine)
+		c.tree.Update(now, la, next, st.enc)
 	}
 
 	// Counter writes are write-through; the cached copy (if any) is
@@ -503,13 +519,12 @@ func (c *Controller) EvictLine(now uint64, vaddr uint64) uint64 {
 }
 
 // evictDirect writes back a line under direct encryption.
-func (c *Controller) evictDirect(now uint64, la uint64) uint64 {
+func (c *Controller) evictDirect(now uint64, la uint64, st *lineState) uint64 {
 	ready := c.engine.ScheduleOnly(now, cryptoengine.ClassWriteback)
-	encLine := c.direct.EncryptLine(c.image.LineAt(la), la)
-	c.enc[la] = encLine
-	delete(c.tampered, la)
+	st.enc = c.direct.EncryptLine(c.image.LineAt(la), la)
+	st.tampered = false
 	if c.tree != nil {
-		c.tree.Update(now, la, 0, encLine)
+		c.tree.Update(now, la, 0, st.enc)
 	}
 	t := c.dram.Access(now, la, ctr.LineSize, true)
 	return maxU64(t, ready)
@@ -518,16 +533,14 @@ func (c *Controller) evictDirect(now uint64, la uint64) uint64 {
 // Seq returns the current counter of the line containing vaddr (tests).
 func (c *Controller) Seq(vaddr uint64) uint64 {
 	la := mem.LineAddr(vaddr)
-	c.materialize(la)
-	return c.seq[la]
+	return c.materialize(la).seq
 }
 
 // EncryptedLine returns the off-chip ciphertext of the line containing
 // vaddr, as an adversary probing the RAM would see it (tests, examples).
 func (c *Controller) EncryptedLine(vaddr uint64) ctr.Line {
 	la := mem.LineAddr(vaddr)
-	c.materialize(la)
-	return c.enc[la]
+	return c.materialize(la).enc
 }
 
 func maxU64(a, b uint64) uint64 {

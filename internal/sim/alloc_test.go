@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"testing"
+
+	"ctrpred/internal/predictor"
+	"ctrpred/internal/workload"
+)
+
+// TestSteadyStateAccessAllocFree pins the memory-system hot path: once a
+// working set is resident, loads and stores that hit in the L2 must not
+// allocate. The two addresses alias in the direct-mapped L1D (8 KiB
+// apart) so every access misses L1 and exercises the L2-hit path, the
+// common case in every measured run. Periodic flushing is disabled so the
+// measured region contains no batch writebacks.
+func TestSteadyStateAccessAllocFree(t *testing.T) {
+	cfg := DefaultConfig(SchemePred(predictor.SchemeContext))
+	cfg.Scale = workload.Scale{Footprint: 1 << 16, Instructions: 1_000}
+	cfg.Mem.FlushInterval = 0
+	m, err := NewMachine("mcf", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := uint64(1 << 20)
+	b := a + uint64(cfg.Mem.L1DSize) // same L1 set, different L2 set
+	now := m.Sys.Access(0, a, false)
+	now = m.Sys.Access(now, b, false)
+	now = m.Sys.Access(now, a, true)
+	now = m.Sys.Access(now, b, true)
+
+	if n := testing.AllocsPerRun(500, func() {
+		now = m.Sys.Access(now, a, false)
+		now = m.Sys.Access(now, b, false)
+		now = m.Sys.Access(now, a, true)
+		now = m.Sys.Access(now, b, true)
+	}); n != 0 {
+		t.Errorf("steady-state L2-hit access allocates %v times per run, want 0", n)
+	}
+}
