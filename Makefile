@@ -1,6 +1,8 @@
 # Verification recipe. `make verify` is the tier-1 gate: build, vet,
-# the full test suite, and a race-detector pass over the concurrent
-# packages (the run scheduler and the sweeps routed through it).
+# the full test suite, a race-detector pass over the concurrent
+# packages (the run scheduler and the sweeps routed through it) plus
+# the fault-injection/recovery datapath, and a short fuzz smoke of the
+# integrity tree.
 #
 # `make bench` runs the benchmark suite once and appends a labeled entry
 # to the tracked ledger BENCH_sim.json (label via BENCH_LABEL=...), so
@@ -10,7 +12,7 @@
 GO ?= go
 BENCH_LABEL ?= local
 
-.PHONY: build vet test race verify bench
+.PHONY: build vet test race fuzz verify bench
 
 build:
 	$(GO) build ./...
@@ -27,8 +29,17 @@ test:
 race:
 	$(GO) test -race ./internal/runpool
 	$(GO) test -race ./internal/experiments -run 'Parallel|SweepProgress|SweepError|SweepCancel|SweepPreCancelled|SimTimeout'
+	$(GO) test -race ./internal/faults ./internal/secmem
+	$(GO) test -race ./internal/sim -run 'Tamper|Replay|Halt|CleanRunWithArmed|RunContextCancel'
 
-verify: build vet test race
+# Short coverage-guided smoke of the integrity tree's update/verify/
+# corrupt interleavings; the committed seed corpus under
+# internal/integrity/testdata runs as regression tests in plain
+# `go test` too.
+fuzz:
+	$(GO) test ./internal/integrity -run '^$$' -fuzz FuzzIntegrityTree -fuzztime 30s
+
+verify: build vet test race fuzz
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . \

@@ -180,6 +180,51 @@ func BenchmarkSingleRunMcfContext(b *testing.B) {
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim_instrs/s")
 }
 
+// BenchmarkSingleRunMcfFaultsArmed is BenchmarkSingleRunMcfContext with
+// the fault injector armed on a trigger that never fires: it prices the
+// injector's per-fetch bookkeeping (pair capture + trigger evaluation)
+// on a clean run. Compare sim_instrs/s against BenchmarkSingleRunMcfContext
+// in BENCH_sim.json — the armed-but-idle overhead budget is ≤1%.
+func BenchmarkSingleRunMcfFaultsArmed(b *testing.B) {
+	cfg := DefaultConfig(SchemePred(PredContext))
+	cfg.Scale = Scale{Footprint: 1 << 20, Instructions: 50_000}
+	plan := &FaultPlan{Attacks: []FaultAttack{{
+		Kind:    FaultBitFlip,
+		Trigger: FaultTrigger{Fetch: 1 << 60}, // armed, never due
+	}}}
+	cfg = cfg.WithFaults(plan)
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := Run("mcf", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.CPU.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim_instrs/s")
+}
+
+// BenchmarkAttackCampaign runs the adversarial detection-coverage
+// matrix: every attack class against every scheme family with the
+// integrity tree enabled and quarantine recovery. The experiment fails
+// (and so does the benchmark) unless detection is total and clean runs
+// raise zero security events.
+func BenchmarkAttackCampaign(b *testing.B) {
+	opt := benchOptions()
+	var res ExperimentResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = RunExperiment("attack", opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printTable(b, "attack", res)
+	b.ReportMetric(res.Series["baseline"]["bitflip"], "bitflip_detect_rate")
+	b.ReportMetric(res.Series["baseline"]["replay"], "replay_detect_rate")
+	b.ReportMetric(res.Series["latency:baseline"]["bitflip"], "bitflip_latency_cycles")
+}
+
 // BenchmarkContextSwitch measures the Section 2.2 multiprogramming
 // asymmetry: counter caches are gutted by context switches, prediction
 // state travels with the process.

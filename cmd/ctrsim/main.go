@@ -5,6 +5,7 @@
 //
 //	ctrsim -bench mcf -scheme pred-context -l2 256K -instr 1000000
 //	ctrsim -bench mcf -metrics run.json     # full metrics tree as JSON
+//	ctrsim -bench gzip -faults 'bitflip@fetch:100' -recovery quarantine
 //	ctrsim -list
 //
 // Schemes: baseline, oracle, seqcache:<size>, pred-regular,
@@ -35,6 +36,9 @@ func main() {
 		mode    = flag.String("mode", "performance", "performance (IPC) or hitrate (fast functional)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		flush   = flag.Uint64("flush", 0, "dirty-flush interval in cycles (0 = instr/10)")
+		integ   = flag.Bool("integrity", false, "attach the hash-tree integrity layer")
+		faultsF = flag.String("faults", "", "attack plan, e.g. 'bitflip@fetch:100,replay@instr:50000' (implies -integrity)")
+		recov   = flag.String("recovery", "halt", "recovery policy on detected tampering: halt|quarantine")
 		metrics = flag.String("metrics", "", "write the metrics snapshot to this path (JSON; a .csv suffix selects CSV; '-' = stdout)")
 		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
@@ -91,11 +95,34 @@ func main() {
 	} else {
 		cfg.Mem.FlushInterval = *instr / 10
 	}
+	if *integ || *faultsF != "" {
+		cfg = cfg.WithIntegrity()
+	}
+	if *faultsF != "" {
+		plan, err := ctrpred.ParseFaultPlan(*faultsF)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = cfg.WithFaults(&plan)
+	}
+	policy, err := ctrpred.ParseRecovery(*recov)
+	if err != nil {
+		fatal(err)
+	}
+	cfg = cfg.WithRecovery(policy)
 
 	res, err := ctrpred.Run(*bench, cfg)
 	if err != nil {
 		if errors.Is(err, ctrpred.ErrUnknownBenchmark) {
 			fatal(fmt.Errorf("%v\nrun 'ctrsim -list' for the benchmark set", err))
+		}
+		var serr *ctrpred.SecurityError
+		if errors.As(err, &serr) {
+			// The run halted on a detected security violation: report what
+			// was measured up to the halt, then exit distinctly.
+			printSecurity(res)
+			fmt.Fprintln(os.Stderr, "ctrsim: halted:", serr)
+			os.Exit(3)
 		}
 		fatal(err)
 	}
@@ -127,10 +154,26 @@ func main() {
 		fmt.Printf("decrypt exposure       %d cycles total\n", res.Ctrl.DecryptExposed)
 		fmt.Printf("flushes (lines)        %d (%d)\n", res.Hierarchy.Flushes, res.Hierarchy.FlushedLines)
 	}
+	printSecurity(res)
 	if *metrics != "" {
 		if err := writeMetrics(*metrics, res.Snapshot()); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// printSecurity reports the adversarial side of a run — injected and
+// detected attacks, recovery-path counters — when a fault injector was
+// armed or security events occurred.
+func printSecurity(res ctrpred.Result) {
+	if res.Faults != nil {
+		fmt.Printf("\n-- faults --\n")
+		fmt.Printf("attacks injected/detected  %d/%d\n", res.Faults.TotalInjected(), res.Faults.TotalDetected())
+	}
+	if res.Security != nil {
+		fmt.Printf("tamper detections          %d\n", res.Ctrl.TamperDetected)
+		fmt.Printf("quarantined/retries/healed %d/%d/%d\n",
+			res.Security.Quarantined, res.Security.Retries, res.Security.Healed)
 	}
 }
 

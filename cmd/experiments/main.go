@@ -40,7 +40,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiment ids (table1, fig4, fig7..fig16, ablation, ctxswitch, integrity, hybrid, seqsweep, valuepred) or 'all'")
+		exps     = flag.String("exp", "all", "comma-separated experiment ids (table1, fig4, fig7..fig16, ablation, ctxswitch, integrity, hybrid, seqsweep, valuepred, attack) or 'all'")
 		instr    = flag.Uint64("instr", 0, "per-run instruction budget (0 = default)")
 		foot     = flag.String("footprint", "", "workload footprint with optional K/M suffix, e.g. 8M (empty = default)")
 		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all 14)")

@@ -36,8 +36,10 @@ import (
 	"context"
 
 	"ctrpred/internal/experiments"
+	"ctrpred/internal/faults"
 	"ctrpred/internal/predictor"
 	"ctrpred/internal/runpool"
+	"ctrpred/internal/secmem"
 	"ctrpred/internal/sim"
 	"ctrpred/internal/stats"
 	"ctrpred/internal/workload"
@@ -79,6 +81,29 @@ type (
 	// or deadline expiry; its Completed field lists the grid cells that
 	// finished. errors.Is(err, context.Canceled) matches through it.
 	PartialError = runpool.PartialError
+	// SecurityError is the typed error a run returns when tampering is
+	// detected (or a self-check fails) under the Halt recovery policy.
+	// errors.Is matches it against ErrTamperDetected/ErrSelfCheckFailed;
+	// errors.As extracts the line address, counter, cycle and scheme.
+	SecurityError = secmem.SecurityError
+	// SecurityStats counts recovery-path events (quarantines, retries,
+	// heals) of a run under the Quarantine policy.
+	SecurityStats = secmem.SecurityStats
+	// RecoveryPolicy selects what the controller does on a detected
+	// tamper: halt the run or quarantine-and-continue.
+	RecoveryPolicy = secmem.RecoveryPolicy
+	// FaultPlan is a deterministic attack schedule for Config.Faults.
+	FaultPlan = faults.Plan
+	// FaultAttack is one scheduled corruption: an attack class plus the
+	// trigger that gates it.
+	FaultAttack = faults.Attack
+	// FaultTrigger gates when an attack fires (fetch ordinal, committed
+	// instructions, cycle, address predicate).
+	FaultTrigger = faults.Trigger
+	// FaultKind is an attack class of the threat model.
+	FaultKind = faults.Kind
+	// FaultStats is the injector's per-class injection/detection ledger.
+	FaultStats = faults.Stats
 )
 
 // Sentinel errors for errors.Is dispatch. Run and RunExperiment wrap
@@ -91,6 +116,13 @@ var (
 	ErrUnknownExperiment = experiments.ErrUnknownExperiment
 	// ErrUnknownScheme reports a scheme string ParseScheme cannot parse.
 	ErrUnknownScheme = sim.ErrUnknownScheme
+	// ErrTamperDetected reports integrity verification failing on a
+	// fetched line (every *SecurityError of kind tamper wraps it).
+	ErrTamperDetected = secmem.ErrTamperDetected
+	// ErrSelfCheckFailed reports the simulator's plaintext self-check
+	// mismatching on an authentic line — an invariant violation, not an
+	// attack (every *SecurityError of kind self-check wraps it).
+	ErrSelfCheckFailed = secmem.ErrSelfCheckFailed
 )
 
 // Simulation modes.
@@ -107,6 +139,26 @@ const (
 	PredRegular  = predictor.SchemeRegular
 	PredTwoLevel = predictor.SchemeTwoLevel
 	PredContext  = predictor.SchemeContext
+)
+
+// Recovery policies for Config.Recovery.
+const (
+	// RecoveryHalt (the default) stops the run at the first detected
+	// tamper; the run's error is a *SecurityError.
+	RecoveryHalt = secmem.RecoveryHalt
+	// RecoveryQuarantine re-fetches the tampered line within a bounded
+	// retry budget, heals it from the architectural image if retries are
+	// exhausted, counts the degradation and continues.
+	RecoveryQuarantine = secmem.RecoveryQuarantine
+)
+
+// Attack classes for FaultAttack.Kind.
+const (
+	FaultBitFlip     = faults.BitFlip
+	FaultSplice      = faults.Splice
+	FaultReplay      = faults.Replay
+	FaultRollback    = faults.Rollback
+	FaultNodeCorrupt = faults.NodeCorrupt
 )
 
 // DefaultConfig returns the paper's Table 1 machine with the given
@@ -174,6 +226,16 @@ func ParseScheme(s string) (Scheme, error) { return sim.ParseScheme(s) }
 
 // ParseSize parses a capacity with an optional K/M suffix ("32K", "1M").
 func ParseSize(s string) (int, error) { return sim.ParseSize(s) }
+
+// ParseFaultPlan parses an attack schedule of the form
+// "kind[@cond:val]…[,kind…]" — e.g.
+// "bitflip@fetch:100,replay@instr:50000@addr:0x1f000". Kinds are
+// bitflip, splice, replay, rollback and nodecorrupt; conditions are
+// fetch, instr, cycle and addr (addr takes HEX or HEX/MASK).
+func ParseFaultPlan(s string) (FaultPlan, error) { return faults.ParsePlan(s) }
+
+// ParseRecovery parses a recovery policy name ("halt" or "quarantine").
+func ParseRecovery(s string) (RecoveryPolicy, error) { return secmem.ParseRecovery(s) }
 
 // NewMachine assembles a simulator without running it, for callers that
 // want to inspect or drive components directly.

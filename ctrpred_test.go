@@ -68,7 +68,7 @@ func TestFacadeExperiment(t *testing.T) {
 	if _, err := RunExperiment("bogus", opt); err == nil {
 		t.Fatal("bogus experiment id accepted")
 	}
-	if len(ExperimentIDs()) != 18 {
+	if len(ExperimentIDs()) != 19 {
 		t.Fatalf("ExperimentIDs() = %d", len(ExperimentIDs()))
 	}
 }

@@ -276,6 +276,11 @@ func (c *Core) SetCheckpoint(interval uint64, fn func() error) {
 // nil if the run ended by halting or exhausting its budget.
 func (c *Core) StopCause() error { return c.stopCause }
 
+// Committed returns the number of instructions committed so far; live
+// during Run/RunFunctional, so external observers (fault-injection
+// triggers) can key off simulation progress.
+func (c *Core) Committed() uint64 { return c.stats.Instructions }
+
 // checkpoint polls the registered checkpoint function; it reports true
 // when the run must stop.
 func (c *Core) checkpoint() bool {

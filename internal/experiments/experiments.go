@@ -522,13 +522,15 @@ func ByID(ctx context.Context, id string, opt Options) (Result, error) {
 		return SeqCacheSweep(ctx, opt)
 	case "valuepred":
 		return ValuePrediction(ctx, opt)
+	case "attack":
+		return AttackCampaign(ctx, opt)
 	}
-	return Result{}, fmt.Errorf("experiments: %w %q (want table1, fig4, fig7..fig16, ablation, ctxswitch, integrity, hybrid, seqsweep, valuepred)", ErrUnknownExperiment, id)
+	return Result{}, fmt.Errorf("experiments: %w %q (want table1, fig4, fig7..fig16, ablation, ctxswitch, integrity, hybrid, seqsweep, valuepred, attack)", ErrUnknownExperiment, id)
 }
 
 // IDs lists every experiment identifier in paper order.
 func IDs() []string {
 	return []string{"table1", "fig4", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "ablation",
-		"ctxswitch", "integrity", "hybrid", "seqsweep", "valuepred"}
+		"ctxswitch", "integrity", "hybrid", "seqsweep", "valuepred", "attack"}
 }

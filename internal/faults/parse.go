@@ -1,0 +1,71 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePlan parses the CLI attack-plan syntax:
+//
+//	plan   := attack ("," attack)*
+//	attack := kind ("@" cond)*
+//	cond   := "fetch:"N | "instr:"N | "cycle:"N | "addr:"HEX["/"HEXMASK]
+//
+// e.g. "bitflip@fetch:100,replay@instr:50000,rollback@addr:0x1000".
+// A kind with no conditions fires at the first fetch. Numbers accept the
+// usual Go prefixes (0x…); an addr without a mask must match exactly.
+func ParsePlan(s string) (Plan, error) {
+	var p Plan
+	for _, raw := range strings.Split(s, ",") {
+		spec := strings.TrimSpace(raw)
+		if spec == "" {
+			continue
+		}
+		parts := strings.Split(spec, "@")
+		kind, err := ParseKind(parts[0])
+		if err != nil {
+			return Plan{}, err
+		}
+		a := Attack{Kind: kind}
+		for _, cond := range parts[1:] {
+			key, val, found := strings.Cut(cond, ":")
+			if !found {
+				return Plan{}, fmt.Errorf("faults: condition %q in %q has no value (want key:value)", cond, spec)
+			}
+			switch key {
+			case "fetch":
+				a.Trigger.Fetch, err = parseU64(val)
+			case "instr":
+				a.Trigger.Instr, err = parseU64(val)
+			case "cycle":
+				a.Trigger.Cycle, err = parseU64(val)
+			case "addr":
+				addr, mask, hasMask := strings.Cut(val, "/")
+				a.Trigger.AddrMatch, err = parseU64(addr)
+				a.Trigger.AddrMask = ^uint64(0)
+				if err == nil && hasMask {
+					a.Trigger.AddrMask, err = parseU64(mask)
+				}
+			default:
+				return Plan{}, fmt.Errorf("faults: unknown condition %q in %q (want fetch, instr, cycle or addr)", key, spec)
+			}
+			if err != nil {
+				return Plan{}, fmt.Errorf("faults: condition %q in %q: %w", cond, spec, err)
+			}
+		}
+		p.Attacks = append(p.Attacks, a)
+	}
+	if len(p.Attacks) == 0 {
+		return Plan{}, fmt.Errorf("faults: empty attack plan %q", s)
+	}
+	return p, nil
+}
+
+func parseU64(s string) (uint64, error) {
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v, nil
+}

@@ -284,5 +284,33 @@ func (t *Tree) Verify(now uint64, lineAddr uint64, counter uint64, ct ctr.Line) 
 	return authentic, done
 }
 
+// CorruptPath flips one bit of the stored child digest at the given
+// level on lineAddr's root path, modeling an adversary rewriting an
+// interior tree node in untrusted RAM (level 1 corrupts the leaf
+// digest's copy inside its parent — always compared on the next Verify
+// of the leaf; higher levels may sit above a trusted cached node). The
+// node's cached hash is invalidated, as rehashing the fetched corrupted
+// node would be in hardware. It reports false when the leaf was never
+// installed or the level is out of range; a later Update of the same
+// leaf rewrites the path and restores verifiability.
+func (t *Tree) CorruptPath(lineAddr uint64, level int, bit int) bool {
+	if level < 1 || level > t.cfg.Levels {
+		return false
+	}
+	if _, known := t.leaves[lineAddr]; !known {
+		return false
+	}
+	index := t.leafIndex(lineAddr)
+	for l := 1; l < level; l++ {
+		k, _ := t.parentOf(l-1, index)
+		index = k.index
+	}
+	k, slot := t.parentOf(level-1, index)
+	n := t.getNode(k)
+	n.children[slot][(bit/8)%sha256.Size] ^= 1 << (bit % 8)
+	n.valid = false
+	return true
+}
+
 // NodeCount reports materialized interior nodes (tests).
 func (t *Tree) NodeCount() int { return len(t.nodes) }

@@ -18,11 +18,10 @@
 package secmem
 
 import (
-	"fmt"
-
 	"ctrpred/internal/cryptoengine"
 	"ctrpred/internal/ctr"
 	"ctrpred/internal/dram"
+	"ctrpred/internal/faults"
 	"ctrpred/internal/integrity"
 	"ctrpred/internal/mem"
 	"ctrpred/internal/paged"
@@ -57,6 +56,16 @@ type Config struct {
 	// image and every encryption against pad-reuse (cheap; on by default
 	// in tests and examples).
 	SelfCheck bool
+	// Scheme labels SecurityErrors with the scheme under test; sim sets
+	// it from the run configuration. Purely diagnostic.
+	Scheme string
+	// Recovery selects the reaction to a fetch that fails integrity
+	// verification: RecoveryHalt (default) records a *SecurityError,
+	// RecoveryQuarantine re-fetches and heals the line and keeps going.
+	Recovery RecoveryPolicy
+	// RetryBudget bounds quarantine re-fetch attempts per detection
+	// (0 = DefaultRetryBudget).
+	RetryBudget int
 }
 
 // DefaultConfig returns the standard controller configuration.
@@ -117,6 +126,9 @@ type FetchResult struct {
 	// (ciphertext, counter) pair — tampering or replay in untrusted RAM.
 	// Always true when no tree is attached.
 	Authentic bool
+	// Recovered is true when verification failed but the quarantine
+	// policy restored the line; Plain then holds the healed contents.
+	Recovered bool
 	TrueSeq   uint64
 	Plain     ctr.Line
 }
@@ -143,6 +155,9 @@ type Controller struct {
 
 	tracker ctr.PadTracker
 	stats   Stats
+	sec     SecurityStats
+	secErr  *SecurityError   // first recorded security violation
+	faults  *faults.Injector // armed adversary, or nil
 
 	// seqBuf is the counter-line fetch buffer: counters are fetched at
 	// DRAM burst granularity (a 32-byte counter line covers four memory
@@ -159,7 +174,12 @@ type Controller struct {
 type lineState struct {
 	enc ctr.Line // encrypted RAM contents
 	seq uint64   // counter-table entry
-	// tampered marks ciphertext the test adversary corrupted, so the
+	// goodSeq shadows the last legitimately written counter. Adversarial
+	// counter corruption changes seq only, so recovery and evictions can
+	// always advance from a counter known fresh — the role the root of
+	// trust plays in hardware — and never reuse a pad.
+	goodSeq uint64
+	// tampered marks ciphertext the adversary corrupted, so the
 	// plaintext self-check knows not to expect a faithful decryption.
 	tampered bool
 }
@@ -228,16 +248,120 @@ func (c *Controller) AttachIntegrity(t *integrity.Tree) {
 // IntegrityTree returns the attached tree, or nil.
 func (c *Controller) IntegrityTree() *integrity.Tree { return c.tree }
 
-// TamperLine flips one ciphertext bit of the line containing vaddr in the
-// untrusted RAM — the adversary's move. Subsequent fetches of the line
-// must fail integrity verification (with a tree attached) and would
-// otherwise silently decrypt to garbage; the plaintext self-check is
-// suppressed for tampered lines so experiments can observe the effect.
+// TamperLine flips one ciphertext bit of the line containing vaddr.
+//
+// Deprecated: TamperLine only covers data-ciphertext corruption. Use
+// TamperData, TamperCounter, TamperTreeNode, SpliceLines or ReplayStale
+// — or drive a faults.Injector via ArmFaults — for the full attack
+// surface of the threat model.
 func (c *Controller) TamperLine(vaddr uint64, bit int) {
-	la := mem.LineAddr(vaddr)
-	st := c.materialize(la)
+	c.TamperData(mem.LineAddr(vaddr), bit)
+}
+
+// TamperData flips one ciphertext bit of line la in the untrusted RAM —
+// the basic adversary move. The next fetch must fail integrity
+// verification (with a tree attached) and would otherwise silently
+// decrypt to garbage; the plaintext self-check is suppressed for
+// tampered lines so the corruption is observable, not a model bug.
+// Implements faults.Target.
+func (c *Controller) TamperData(la uint64, bit int) bool {
+	st := c.materialize(mem.LineAddr(la))
 	st.enc[(bit/8)%ctr.LineSize] ^= 1 << (bit % 8)
 	st.tampered = true
+	return true
+}
+
+// TamperCounter rolls line la's counter-table entry back by delta —
+// counter-table corruption aimed at forcing pad reuse. It refuses in
+// direct mode (no counters exist). The corrupted counter takes effect at
+// the line's next fetch; on-chip counter copies (seq cache, fetch
+// buffer) model availability timing, not values, so they do not mask the
+// corruption. Implements faults.Target.
+func (c *Controller) TamperCounter(la uint64, delta uint64) bool {
+	if c.direct != nil {
+		return false
+	}
+	st := c.materialize(mem.LineAddr(la))
+	st.seq -= delta
+	st.tampered = true
+	return true
+}
+
+// TamperTreeNode flips one bit of an interior integrity node on la's
+// path (the leaf's parent — always compared on the next verification).
+// It refuses when no tree is attached. Implements faults.Target.
+func (c *Controller) TamperTreeNode(la uint64, bit int) bool {
+	if c.tree == nil {
+		return false
+	}
+	c.materialize(mem.LineAddr(la)) // ensure the leaf path exists
+	return c.tree.CorruptPath(mem.LineAddr(la), 1, bit)
+}
+
+// SpliceLines swaps the ciphertext stored at lines la and lb — a
+// relocation attack: both lines hold valid ciphertext, just not at these
+// addresses. Implements faults.Target.
+func (c *Controller) SpliceLines(la, lb uint64) bool {
+	la, lb = mem.LineAddr(la), mem.LineAddr(lb)
+	if la == lb {
+		return false
+	}
+	a, b := c.materialize(la), c.materialize(lb)
+	a.enc, b.enc = b.enc, a.enc
+	a.tampered, b.tampered = true, true
+	return true
+}
+
+// ReplayStale restores a previously captured (ciphertext, counter) pair
+// at line la — the classic replay attack. It refuses a pair identical to
+// the current off-chip state (that would be a no-op, not a replay).
+// Implements faults.Target.
+func (c *Controller) ReplayStale(la uint64, enc ctr.Line, seq uint64) bool {
+	st := c.materialize(mem.LineAddr(la))
+	if st.seq == seq && st.enc == enc {
+		return false
+	}
+	st.enc = enc
+	st.seq = seq
+	st.tampered = true
+	return true
+}
+
+// ArmFaults installs a fault injector on the fetch/writeback path and
+// binds it to this controller. Attacks only apply to fetches issued
+// after arming; a nil injector disarms. With no injector armed the data
+// path takes a single nil-check per fetch.
+func (c *Controller) ArmFaults(inj *faults.Injector) {
+	c.faults = inj
+	if inj != nil {
+		inj.Bind(c)
+	}
+}
+
+// FaultInjector returns the armed injector, or nil.
+func (c *Controller) FaultInjector() *faults.Injector { return c.faults }
+
+// SecurityErr returns the first recorded security violation (tamper
+// detection under RecoveryHalt, or any self-check failure), or nil. The
+// simulator polls it at instruction checkpoints to halt the run.
+func (c *Controller) SecurityErr() error {
+	if c.secErr == nil {
+		return nil
+	}
+	return c.secErr
+}
+
+// SecurityStats returns the recovery/degradation counters.
+func (c *Controller) SecurityStats() SecurityStats { return c.sec }
+
+// recordSecurityError notes a violation; the first one is kept as the
+// run's SecurityErr (later ones still count).
+func (c *Controller) recordSecurityError(kind ErrorKind, la, seq, cycle uint64) {
+	c.sec.Violations++
+	if c.secErr != nil {
+		return
+	}
+	c.secErr = &SecurityError{Kind: kind, LineAddr: la, Seq: seq, Cycle: cycle, Scheme: c.cfg.Scheme}
 }
 
 func (c *Controller) seqAddr(lineAddr uint64) uint64 {
@@ -285,6 +409,7 @@ func (c *Controller) materialize(la uint64) *lineState {
 	}
 	root := c.pred.Root(la)
 	st.seq = root
+	st.goodSeq = root
 	plain := c.image.LineAt(la)
 	c.engine.Keystream().EncryptLineInto(&st.enc, &plain, la, root)
 	if c.cfg.SelfCheck {
@@ -309,6 +434,7 @@ func (c *Controller) AgeLine(vaddr uint64, offset uint64) {
 	st, _ := c.state.Ensure(la)
 	seq := c.pred.Root(la) + offset
 	st.seq = seq
+	st.goodSeq = seq
 	plain := c.image.LineAt(la)
 	c.engine.Keystream().EncryptLineInto(&st.enc, &plain, la, seq)
 	if c.cfg.SelfCheck {
@@ -325,6 +451,15 @@ func (c *Controller) FetchLine(now uint64, vaddr uint64) FetchResult {
 	la := mem.LineAddr(vaddr)
 	st := c.materialize(la)
 	c.stats.Fetches++
+	if c.faults != nil {
+		if !st.tampered && c.faults.WantsPairs() {
+			// The adversary snoops reads as well as writes: the pair on
+			// the bus is replay material.
+			c.faults.ObservePair(la, st.enc, st.seq)
+		}
+		// The adversary strikes between the DRAM read and verification.
+		c.faults.BeforeFetch(now, la)
+	}
 	if c.direct != nil {
 		return c.fetchDirect(now, la, st)
 	}
@@ -421,15 +556,15 @@ func (c *Controller) FetchLine(now uint64, vaddr uint64) FetchResult {
 			res.Done = vDone + 1
 		}
 		if !ok {
-			c.stats.TamperDetected++
+			c.handleTamper(&res, now, la, trueSeq, st)
 		}
 	}
 
-	if c.cfg.SelfCheck && res.Authentic && !st.tampered {
+	if c.cfg.SelfCheck && (res.Authentic || res.Recovered) && !st.tampered {
 		want := c.image.LineRef(la) // nil for never-written memory, which reads as zero
 		if (want != nil && res.Plain != *want) || (want == nil && res.Plain != (ctr.Line{})) {
 			c.stats.SelfCheckFails++
-			panic(fmt.Sprintf("secmem: decryption mismatch at %#x (seq %d)", la, trueSeq))
+			c.recordSecurityError(KindSelfCheck, la, trueSeq, now)
 		}
 	}
 
@@ -457,13 +592,13 @@ func (c *Controller) fetchDirect(now uint64, la uint64, st *lineState) FetchResu
 			res.Done = vDone + 1
 		}
 		if !ok {
-			c.stats.TamperDetected++
+			c.handleTamper(&res, now, la, 0, st)
 		}
 	}
-	if c.cfg.SelfCheck && res.Authentic && !st.tampered {
+	if c.cfg.SelfCheck && (res.Authentic || res.Recovered) && !st.tampered {
 		if want := c.image.LineAt(la); res.Plain != want {
 			c.stats.SelfCheckFails++
-			panic(fmt.Sprintf("secmem: direct decryption mismatch at %#x", la))
+			c.recordSecurityError(KindSelfCheck, la, 0, now)
 		}
 	}
 	c.stats.FetchLatency.Observe(res.Done - now)
@@ -471,6 +606,103 @@ func (c *Controller) fetchDirect(now uint64, la uint64, st *lineState) FetchResu
 		c.stats.DecryptExposed += res.Done - res.LineDone
 	}
 	return res
+}
+
+// handleTamper reacts to a failed integrity verification at la: under
+// RecoveryHalt it records the typed error (the simulator halts at its
+// next checkpoint); under RecoveryQuarantine it quarantines the line,
+// re-fetches within the retry budget, and heals persistent corruption
+// from the protected domain, updating res with the recovered data and
+// completion time.
+func (c *Controller) handleTamper(res *FetchResult, now, la, seq uint64, st *lineState) {
+	c.stats.TamperDetected++
+	if c.faults != nil {
+		c.faults.ObserveDetection(la, res.Done)
+	}
+	if c.cfg.Recovery != RecoveryQuarantine {
+		c.recordSecurityError(KindTamper, la, seq, now)
+		return
+	}
+	plain, done := c.quarantine(res.Done, la, st)
+	res.Plain = plain
+	res.Recovered = true
+	if done > res.Done {
+		res.Done = done
+	}
+}
+
+// quarantine re-fetches a rejected line up to the retry budget (a
+// transient fault would clear here) and, when the corruption persists,
+// restores the line from the protected domain. It returns the usable
+// plaintext and the cycle recovery completed.
+func (c *Controller) quarantine(now uint64, la uint64, st *lineState) (ctr.Line, uint64) {
+	c.sec.Quarantined++
+	budget := c.cfg.RetryBudget
+	if budget <= 0 {
+		budget = DefaultRetryBudget
+	}
+	t := now
+	for i := 0; i < budget; i++ {
+		c.sec.Retries++
+		t = c.dram.Access(t, la, ctr.LineSize, false)
+		ok, vDone := c.tree.Verify(t, la, st.seq, st.enc)
+		if vDone > t {
+			t = vDone
+		}
+		if ok {
+			// The re-read verified: the fault was transient. Decrypt the
+			// (now trusted) off-chip copy functionally; the pad cost was
+			// already paid on the demand path.
+			c.sec.Requalified++
+			if c.direct != nil {
+				return c.direct.DecryptLine(st.enc, la), t + 1
+			}
+			return c.engine.Keystream().DecryptLine(st.enc, la, st.seq), t + 1
+		}
+	}
+	// Persistent corruption: restore from the architectural image under
+	// a fresh counter, exactly like a writeback, and rewrite the tree
+	// path. The degradation is counted; the line leaves quarantine clean.
+	t = c.heal(t, la, st)
+	return c.image.LineAt(la), t + 1
+}
+
+// heal re-encrypts la's architectural contents under a fresh counter and
+// reinstalls its tree path — the recovery writeback. The fresh counter
+// advances from the shadow goodSeq, so adversarial rollback can never
+// trick recovery into pad reuse.
+func (c *Controller) heal(now uint64, la uint64, st *lineState) uint64 {
+	c.sec.Healed++
+	if c.direct != nil {
+		ready := c.engine.ScheduleOnly(now, cryptoengine.ClassWriteback)
+		st.enc = c.direct.EncryptLine(c.image.LineAt(la), la)
+		st.tampered = false
+		upDone := c.tree.Update(now, la, 0, st.enc)
+		t := c.dram.Access(now, la, ctr.LineSize, true)
+		return maxU64(maxU64(t, ready), upDone)
+	}
+	base := st.goodSeq
+	if st.seq > base {
+		base = st.seq
+	}
+	next := c.pred.NextSeqForEvict(la, base)
+	st.seq = next
+	st.goodSeq = next
+	var pad ctr.Pad
+	padReady := c.engine.ComputeInto(&pad, now, la, next, cryptoengine.ClassWriteback)
+	plain := c.image.LineAt(la)
+	ctr.XORLine(&st.enc, &plain, &pad)
+	st.tampered = false
+	if c.cfg.SelfCheck {
+		c.tracker.RecordEncrypt(la, next)
+	}
+	upDone := c.tree.Update(now, la, next, st.enc)
+	if c.scache != nil {
+		c.scache.Update(la)
+	}
+	tLine := c.dram.Access(now, la, ctr.LineSize, true)
+	tSeq := c.seqDRAM.Access(now, c.seqAddr(la), seqcache.SeqBytes, true)
+	return maxU64(maxU64(maxU64(tLine, tSeq), padReady), upDone)
 }
 
 // EvictLine writes back the (dirty) line containing vaddr, re-encrypting
@@ -485,8 +717,21 @@ func (c *Controller) EvictLine(now uint64, vaddr uint64) uint64 {
 		return c.evictDirect(now, la, st)
 	}
 
-	next := c.pred.NextSeqForEvict(la, st.seq)
+	if c.faults != nil && c.faults.WantsPairs() {
+		// The adversary records the off-chip pair this writeback replaces:
+		// the most stale replay material an attacker snooping the bus from
+		// run begin could hold.
+		c.faults.ObservePair(la, st.enc, st.seq)
+	}
+	// Advance from the shadow goodSeq when the off-chip counter was
+	// rolled back by an adversary: a writeback must never reuse a pad.
+	base := st.seq
+	if st.goodSeq > base {
+		base = st.goodSeq
+	}
+	next := c.pred.NextSeqForEvict(la, base)
 	st.seq = next
+	st.goodSeq = next
 
 	var pad ctr.Pad
 	padReady := c.engine.ComputeInto(&pad, now, la, next, cryptoengine.ClassWriteback)
@@ -521,6 +766,9 @@ func (c *Controller) EvictLine(now uint64, vaddr uint64) uint64 {
 // evictDirect writes back a line under direct encryption.
 func (c *Controller) evictDirect(now uint64, la uint64, st *lineState) uint64 {
 	ready := c.engine.ScheduleOnly(now, cryptoengine.ClassWriteback)
+	if c.faults != nil && c.faults.WantsPairs() {
+		c.faults.ObservePair(la, st.enc, 0)
+	}
 	st.enc = c.direct.EncryptLine(c.image.LineAt(la), la)
 	st.tampered = false
 	if c.tree != nil {

@@ -1,0 +1,135 @@
+package secmem
+
+import (
+	"errors"
+	"fmt"
+
+	"ctrpred/internal/stats"
+)
+
+// Sentinel errors for errors.Is dispatch on security failures. Every
+// *SecurityError unwraps to exactly one of them.
+var (
+	// ErrTamperDetected reports that the integrity tree rejected a
+	// fetched (ciphertext, counter) pair — tampering, splicing or replay
+	// in untrusted RAM.
+	ErrTamperDetected = errors.New("secmem: tamper detected")
+	// ErrSelfCheckFailed reports that a decryption did not match the
+	// architectural image — a simulator invariant violation, not an
+	// attack (the self-check is the model's own paranoia aid).
+	ErrSelfCheckFailed = errors.New("secmem: self-check failed")
+)
+
+// ErrorKind classifies a SecurityError.
+type ErrorKind uint8
+
+const (
+	// KindTamper is a failed integrity verification (adversarial data).
+	KindTamper ErrorKind = iota
+	// KindSelfCheck is a decryption/image mismatch (model invariant).
+	KindSelfCheck
+)
+
+func (k ErrorKind) String() string {
+	if k == KindSelfCheck {
+		return "self-check"
+	}
+	return "tamper"
+}
+
+// SecurityError is the typed error the controller records when a fetch
+// fails verification (under RecoveryHalt) or the self-check trips. It
+// replaces the panics the data path used to raise: tampered memory is an
+// input, not a bug, so it must surface as an error the caller can
+// errors.Is/errors.As on.
+type SecurityError struct {
+	Kind     ErrorKind
+	LineAddr uint64 // line-aligned virtual address of the offending fetch
+	Seq      uint64 // counter value used for the failing decryption
+	Cycle    uint64 // cycle at which the fetch was issued
+	Scheme   string // scheme label of the run (empty outside sim)
+}
+
+func (e *SecurityError) Error() string {
+	s := e.Scheme
+	if s == "" {
+		s = "-"
+	}
+	return fmt.Sprintf("secmem: %s at line %#x (seq %d, cycle %d, scheme %s)",
+		e.Kind, e.LineAddr, e.Seq, e.Cycle, s)
+}
+
+// Unwrap maps the error onto its sentinel for errors.Is.
+func (e *SecurityError) Unwrap() error {
+	if e.Kind == KindSelfCheck {
+		return ErrSelfCheckFailed
+	}
+	return ErrTamperDetected
+}
+
+// RecoveryPolicy selects the controller's reaction to a fetch that fails
+// integrity verification.
+type RecoveryPolicy uint8
+
+const (
+	// RecoveryHalt (the default) records a *SecurityError at the first
+	// detection; the simulation stops at its next instruction checkpoint.
+	// This models a processor that raises a security exception.
+	RecoveryHalt RecoveryPolicy = iota
+	// RecoveryQuarantine keeps running: the line is quarantined,
+	// re-fetched up to Config.RetryBudget times, and — when the
+	// corruption persists — restored from the protected domain under a
+	// fresh counter (a degradation, counted in SecurityStats).
+	RecoveryQuarantine
+)
+
+func (p RecoveryPolicy) String() string {
+	if p == RecoveryQuarantine {
+		return "quarantine"
+	}
+	return "halt"
+}
+
+// ParseRecovery parses a recovery-policy name ("halt" or "quarantine").
+func ParseRecovery(s string) (RecoveryPolicy, error) {
+	switch s {
+	case "halt":
+		return RecoveryHalt, nil
+	case "quarantine":
+		return RecoveryQuarantine, nil
+	}
+	return RecoveryHalt, fmt.Errorf("secmem: unknown recovery policy %q (want halt or quarantine)", s)
+}
+
+// DefaultRetryBudget is the quarantine re-fetch bound used when
+// Config.RetryBudget is zero.
+const DefaultRetryBudget = 2
+
+// SecurityStats counts the graceful-degradation activity of the recovery
+// path. All fields stay zero on clean runs.
+type SecurityStats struct {
+	// Quarantined counts fetches that entered quarantine after failing
+	// verification (RecoveryQuarantine only).
+	Quarantined uint64
+	// Retries counts quarantine re-fetch attempts (≤ RetryBudget each).
+	Retries uint64
+	// Requalified counts quarantined lines whose re-fetch verified —
+	// transient faults (always 0 under the persistent-corruption model).
+	Requalified uint64
+	// Healed counts quarantined lines restored from the protected domain
+	// under a fresh counter — the degradations the policy trades for
+	// availability.
+	Healed uint64
+	// Violations counts detections converted to a recorded
+	// *SecurityError (halt policy tampering plus all self-check fails).
+	Violations uint64
+}
+
+// AddTo registers the recovery counters into a metrics snapshot node.
+func (s SecurityStats) AddTo(n *stats.Snapshot) {
+	n.Counter("quarantined", s.Quarantined)
+	n.Counter("retries", s.Retries)
+	n.Counter("requalified", s.Requalified)
+	n.Counter("healed", s.Healed)
+	n.Counter("violations", s.Violations)
+}

@@ -30,5 +30,11 @@ func (r Result) Snapshot() *stats.Snapshot {
 	if r.Integrity != nil {
 		r.Integrity.AddTo(n.Child("integrity"))
 	}
+	if r.Security != nil {
+		r.Security.AddTo(n.Child("security"))
+	}
+	if r.Faults != nil {
+		r.Faults.AddTo(n.Child("faults"))
+	}
 	return n
 }

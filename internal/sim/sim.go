@@ -18,6 +18,7 @@ import (
 	"ctrpred/internal/cryptoengine"
 	"ctrpred/internal/ctr"
 	"ctrpred/internal/dram"
+	"ctrpred/internal/faults"
 	"ctrpred/internal/integrity"
 	"ctrpred/internal/mem"
 	"ctrpred/internal/memsys"
@@ -108,11 +109,23 @@ type Config struct {
 	// every writeback updates the tree.
 	Integrity bool
 	// CheckInterval is the number of committed instructions between
-	// cancellation checkpoints in a context-aware run (RunContext). A
-	// cancel therefore lands within one interval of simulated
-	// instructions, not at run granularity. 0 means
-	// DefaultCheckInterval. It has no effect on timing or statistics.
+	// run checkpoints (context cancellation and security-halt polling).
+	// A cancel or a RecoveryHalt detection therefore lands within one
+	// interval of simulated instructions, not at run granularity. 0
+	// means DefaultCheckInterval. It has no effect on timing or
+	// statistics.
 	CheckInterval uint64
+	// Faults arms the adversarial fault injector with an attack plan
+	// (nil = clean memory). Without the integrity tree most attacks pass
+	// undetected — that is the paper's point — so campaigns should pair
+	// Faults with Integrity.
+	Faults *faults.Plan
+	// Recovery selects the controller's reaction to detected tampering:
+	// halt at the first detection (default) or quarantine-and-heal.
+	Recovery secmem.RecoveryPolicy
+	// RetryBudget bounds quarantine re-fetch attempts (0 = secmem's
+	// DefaultRetryBudget).
+	RetryBudget int
 }
 
 // DefaultCheckInterval is the cancellation-checkpoint spacing used when
@@ -178,6 +191,18 @@ func (c Config) WithFootprint(bytes int) Config {
 	return c
 }
 
+// WithFaults returns the config with the given attack plan armed.
+func (c Config) WithFaults(p *faults.Plan) Config {
+	c.Faults = p
+	return c
+}
+
+// WithRecovery returns the config with the given recovery policy.
+func (c Config) WithRecovery(p secmem.RecoveryPolicy) Config {
+	c.Recovery = p
+	return c
+}
+
 // Result carries everything a run produced.
 type Result struct {
 	Benchmark string
@@ -193,6 +218,12 @@ type Result struct {
 	L1D, L2   cache.Stats
 	SeqCache  *cache.Stats     // nil when the scheme has none
 	Integrity *integrity.Stats // nil when the tree is disabled
+	// Security carries the recovery/degradation counters; nil unless the
+	// injector was armed or a security event occurred, so clean-run
+	// snapshots are unchanged.
+	Security *secmem.SecurityStats
+	// Faults is the injector's ledger; nil when no injector was armed.
+	Faults *faults.Stats
 
 	// PadViolations counts one-time-pad reuse (must be 0).
 	PadViolations uint64
@@ -227,6 +258,8 @@ type Machine struct {
 	SCache    *seqcache.Cache
 	Engine    *cryptoengine.Engine
 	DRAM      *dram.DRAM
+	// Faults is the armed adversary, or nil for clean memory.
+	Faults *faults.Injector
 }
 
 // NewMachine builds the machine and loads the named workload.
@@ -267,9 +300,17 @@ func NewMachine(bench string, cfg Config) (*Machine, error) {
 	scfg.Oracle = cfg.Scheme.Oracle
 	scfg.Direct = cfg.Scheme.Direct
 	scfg.SelfCheck = cfg.SelfCheck
+	scfg.Scheme = cfg.Scheme.Name
+	scfg.Recovery = cfg.Recovery
+	scfg.RetryBudget = cfg.RetryBudget
 	ctrl := secmem.New(scfg, d, engine, pred, sc, image)
 	if cfg.Integrity {
 		ctrl.AttachIntegrity(integrity.New(integrity.DefaultConfig(), d))
+	}
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		inj = faults.NewInjector(*cfg.Faults, cfg.Seed^0xfa0175)
+		ctrl.ArmFaults(inj)
 	}
 
 	// Apply the workload's counter-aging profile: the update history a
@@ -288,10 +329,14 @@ func NewMachine(bench string, cfg Config) (*Machine, error) {
 
 	sys := memsys.New(cfg.Mem, ctrl)
 	core := cpu.New(cfg.CPU, wl.Prog, image, sys)
+	if inj != nil {
+		inj.SetInstrSource(core.Committed)
+	}
 
 	return &Machine{
 		Config: cfg, Benchmark: bench, Image: image, Core: core, Sys: sys,
 		Ctrl: ctrl, Pred: pred, SCache: sc, Engine: engine, DRAM: d,
+		Faults: inj,
 	}, nil
 }
 
@@ -303,24 +348,33 @@ func (m *Machine) Run() Result {
 	return res
 }
 
-// RunContext is Run with cancellation: the context is polled every
-// Config.CheckInterval committed instructions, so a cancel or deadline
-// expiry stops the simulation within one interval. On interruption the
-// partial Result collected so far is returned alongside the context's
-// error. A run whose context is never cancelled is cycle-for-cycle
-// identical to Run.
+// RunContext is Run with cancellation and security-halt propagation: a
+// checkpoint polled every Config.CheckInterval committed instructions
+// stops the simulation within one interval of a context cancel, a
+// deadline expiry, or — under RecoveryHalt — the controller recording a
+// *SecurityError on tampered memory. On interruption the partial Result
+// collected so far is returned alongside the error (mirroring the
+// sweep-level *PartialError contract). A clean run whose checkpoints
+// never fire is cycle-for-cycle identical to Run.
 func (m *Machine) RunContext(ctx context.Context) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	if ctx.Done() != nil {
-		interval := m.Config.CheckInterval
-		if interval == 0 {
-			interval = DefaultCheckInterval
-		}
-		m.Core.SetCheckpoint(interval, ctx.Err)
-		defer m.Core.SetCheckpoint(0, nil)
+	interval := m.Config.CheckInterval
+	if interval == 0 {
+		interval = DefaultCheckInterval
 	}
+	ctxErr := func() error { return nil }
+	if ctx.Done() != nil {
+		ctxErr = ctx.Err
+	}
+	m.Core.SetCheckpoint(interval, func() error {
+		if err := m.Ctrl.SecurityErr(); err != nil {
+			return err
+		}
+		return ctxErr()
+	})
+	defer m.Core.SetCheckpoint(0, nil)
 	var cs cpu.Stats
 	if m.Config.Mode == HitRate {
 		cs = m.Core.RunFunctional(m.Config.Scale.Instructions)
@@ -350,7 +404,20 @@ func (m *Machine) RunContext(ctx context.Context) (Result, error) {
 		s := tree.Stats()
 		res.Integrity = &s
 	}
-	return res, m.Core.StopCause()
+	if m.Faults != nil {
+		fs := m.Faults.Stats()
+		res.Faults = &fs
+	}
+	if ss := m.Ctrl.SecurityStats(); m.Faults != nil || ss != (secmem.SecurityStats{}) {
+		res.Security = &ss
+	}
+	err := m.Core.StopCause()
+	if err == nil {
+		// A violation inside the final checkpoint interval still halts
+		// the result, even though no checkpoint fired after it.
+		err = m.Ctrl.SecurityErr()
+	}
+	return res, err
 }
 
 // Run builds and runs the named benchmark under cfg.

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ctrpred/internal/faults"
+	"ctrpred/internal/predictor"
+	"ctrpred/internal/secmem"
+	"ctrpred/internal/workload"
+)
+
+// tamperConfig is testConfig with the integrity tree and an attack plan.
+func tamperConfig(s Scheme, plan *faults.Plan, policy secmem.RecoveryPolicy) Config {
+	cfg := testConfig(s).WithIntegrity()
+	cfg.Faults = plan
+	cfg.Recovery = policy
+	return cfg
+}
+
+// TestTamperMatrix drives every applicable attack class against every
+// scheme family through the full machine, under both recovery policies:
+// Halt must surface a typed *SecurityError carrying the scheme label
+// and a partial Result; Quarantine must complete the run with the
+// attack detected and the line healed.
+func TestTamperMatrix(t *testing.T) {
+	schemes := []Scheme{
+		SchemeBaseline(),
+		SchemeSeqCache(4 << 10),
+		SchemePred(predictor.SchemeRegular),
+		SchemeCombined(4<<10, predictor.SchemeRegular),
+		SchemeDirect(),
+	}
+	// Replay is exercised separately (TestReplayThroughMachine): it needs
+	// a longer window before a stale capture exists.
+	kinds := []faults.Kind{faults.BitFlip, faults.Splice, faults.Rollback, faults.NodeCorrupt}
+	for _, sch := range schemes {
+		for _, kind := range kinds {
+			plan := &faults.Plan{Attacks: []faults.Attack{
+				{Kind: kind, Trigger: faults.Trigger{Fetch: 10}},
+			}}
+			vacuous := kind == faults.Rollback && sch.Direct
+
+			t.Run(sch.Name+"/"+kind.String()+"/halt", func(t *testing.T) {
+				res, err := Run("gzip", tamperConfig(sch, plan, secmem.RecoveryHalt))
+				if vacuous {
+					if err != nil {
+						t.Fatalf("inapplicable attack produced %v", err)
+					}
+					if res.Faults.TotalInjected() != 0 {
+						t.Fatalf("rollback applied in direct mode: %+v", res.Faults)
+					}
+					return
+				}
+				if !errors.Is(err, secmem.ErrTamperDetected) {
+					t.Fatalf("err = %v, want errors.Is(err, ErrTamperDetected)", err)
+				}
+				var serr *secmem.SecurityError
+				if !errors.As(err, &serr) {
+					t.Fatalf("err %T does not wrap *SecurityError", err)
+				}
+				if serr.Scheme != sch.Name {
+					t.Fatalf("serr.Scheme = %q, want %q", serr.Scheme, sch.Name)
+				}
+				// The partial result still carries the detection.
+				if res.Ctrl.TamperDetected == 0 {
+					t.Fatal("halt result lost the detection counter")
+				}
+				if res.Faults == nil || res.Faults.TotalDetected() != res.Faults.TotalInjected() {
+					t.Fatalf("fault ledger = %+v", res.Faults)
+				}
+			})
+
+			t.Run(sch.Name+"/"+kind.String()+"/quarantine", func(t *testing.T) {
+				res, err := Run("gzip", tamperConfig(sch, plan, secmem.RecoveryQuarantine))
+				if err != nil {
+					t.Fatalf("quarantine run failed: %v", err)
+				}
+				if vacuous {
+					if res.Faults.TotalInjected() != 0 {
+						t.Fatalf("rollback applied in direct mode: %+v", res.Faults)
+					}
+					return
+				}
+				if res.Faults == nil || res.Faults.TotalInjected() != 1 {
+					t.Fatalf("fault ledger = %+v", res.Faults)
+				}
+				if res.Faults.TotalDetected() != 1 {
+					t.Fatalf("attack not detected: %+v", res.Faults)
+				}
+				if res.Security == nil || res.Security.Quarantined == 0 {
+					t.Fatalf("security ledger = %+v", res.Security)
+				}
+				if res.CPU.Instructions != testConfig(sch).Scale.Instructions {
+					t.Fatalf("quarantine run stopped early: %d instructions", res.CPU.Instructions)
+				}
+			})
+		}
+	}
+}
+
+// TestReplayThroughMachine exercises the replay class end to end: the
+// injector captures a bus pair, waits until the line's off-chip state
+// has moved on, restores the stale pair at a refetch, and the tree
+// rejects it.
+func TestReplayThroughMachine(t *testing.T) {
+	plan := &faults.Plan{Attacks: []faults.Attack{
+		{Kind: faults.Replay, Trigger: faults.Trigger{Fetch: 50}},
+	}}
+	cfg := DefaultConfig(SchemeBaseline()).WithL2(64 << 10).WithIntegrity()
+	cfg.Scale = workload.Scale{Footprint: 256 << 10, Instructions: 200_000}
+	cfg.Seed = 7
+	cfg.Mem.FlushInterval = 20_000
+	cfg.Faults = plan
+	cfg.Recovery = secmem.RecoveryQuarantine
+
+	res, err := Run("gzip", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Injected[faults.Replay] != 1 || res.Faults.Detected[faults.Replay] != 1 {
+		t.Fatalf("replay ledger = %+v", res.Faults)
+	}
+	if res.Security.Healed == 0 && res.Security.Requalified == 0 {
+		t.Fatalf("no recovery recorded: %+v", res.Security)
+	}
+}
+
+// TestHaltStopsPromptly bounds halt latency: the run must stop within
+// one checkpoint interval of the detection, not run to completion.
+func TestHaltStopsPromptly(t *testing.T) {
+	plan := &faults.Plan{Attacks: []faults.Attack{
+		{Kind: faults.BitFlip, Trigger: faults.Trigger{Fetch: 5}},
+	}}
+	cfg := tamperConfig(SchemeBaseline(), plan, secmem.RecoveryHalt)
+	res, err := Run("gzip", cfg)
+	if err == nil {
+		t.Fatal("halt run completed without error")
+	}
+	if res.CPU.Instructions >= cfg.Scale.Instructions {
+		t.Fatalf("halt run executed the full budget (%d instructions)", res.CPU.Instructions)
+	}
+}
+
+// TestCleanRunWithArmedInjector is the false-positive guard: a plan
+// whose trigger never fires must leave the run bit-identical in
+// security terms — no detections, no quarantines, no error.
+func TestCleanRunWithArmedInjector(t *testing.T) {
+	plan := &faults.Plan{Attacks: []faults.Attack{
+		{Kind: faults.BitFlip, Trigger: faults.Trigger{Fetch: 1 << 60}},
+	}}
+	res, err := Run("gzip", tamperConfig(SchemePred(predictor.SchemeRegular), plan, secmem.RecoveryHalt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.TotalInjected() != 0 || res.Ctrl.TamperDetected != 0 || res.Ctrl.SelfCheckFails != 0 {
+		t.Fatalf("armed-but-idle injector perturbed the run: %+v", res.Faults)
+	}
+	// The injector must not perturb timing either: same config without
+	// the plan is cycle-identical.
+	base, err := Run("gzip", tamperConfig(SchemePred(predictor.SchemeRegular), nil, secmem.RecoveryHalt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.CPU.Cycles != res.CPU.Cycles || base.IPC() != res.IPC() {
+		t.Fatalf("armed injector changed timing: %d vs %d cycles", res.CPU.Cycles, base.CPU.Cycles)
+	}
+}
+
+// TestRunContextCancelStillWins checks the composed checkpoint: context
+// cancellation still stops a run whose injector is armed.
+func TestRunContextCancelStillWins(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	plan := &faults.Plan{Attacks: []faults.Attack{
+		{Kind: faults.BitFlip, Trigger: faults.Trigger{Fetch: 1 << 60}},
+	}}
+	_, err := RunContext(ctx, "gzip", tamperConfig(SchemeBaseline(), plan, secmem.RecoveryHalt))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
