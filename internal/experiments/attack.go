@@ -112,8 +112,9 @@ func campaignPlan(k faults.Kind, n int) *faults.Plan {
 // every scheme family, with the integrity tree enabled and the
 // quarantine recovery policy so runs complete and report degradation
 // counters. It asserts the security invariants rather than just
-// reporting them: an injected-but-undetected attack or any tamper/
-// self-check/pad event on a clean run fails the experiment with an
+// reporting them: an injected-but-undetected attack, any tamper/
+// self-check/pad event on a clean run, or any pad-reuse/self-check
+// event during recovery on an attack run fails the experiment with an
 // error.
 func AttackCampaign(ctx context.Context, opt Options) (Result, error) {
 	opt = opt.normalized()
@@ -212,6 +213,12 @@ func AttackCampaign(ctx context.Context, opt Options) (Result, error) {
 			if c.detected != c.injected {
 				return Result{}, fmt.Errorf("attack campaign: %s under %s: %d injected but only %d detected",
 					row, sch.Name, c.injected, c.detected)
+			}
+			// Recovery must never reuse a pad or corrupt architectural
+			// state, regardless of which attack class triggered it.
+			if c.padViolations != 0 || c.selfcheck != 0 {
+				return Result{}, fmt.Errorf("attack campaign: %s under %s: recovery raised %d pad violations, %d self-check failures",
+					row, sch.Name, c.padViolations, c.selfcheck)
 			}
 			vacuousOK := row == faults.Rollback.String() && sch.Direct
 			if c.injected == 0 && !vacuousOK {

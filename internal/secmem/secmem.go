@@ -282,6 +282,14 @@ func (c *Controller) TamperCounter(la uint64, delta uint64) bool {
 		return false
 	}
 	st := c.materialize(mem.LineAddr(la))
+	if delta == 0 || st.seq == 0 {
+		return false // nothing to roll back; the attack stays armed
+	}
+	if delta > st.seq {
+		// Saturate rather than wrap: an underflowed ~2^64 counter must
+		// never leak into any recovery or writeback path.
+		delta = st.seq
+	}
 	st.seq -= delta
 	st.tampered = true
 	return true
@@ -641,11 +649,18 @@ func (c *Controller) quarantine(now uint64, la uint64, st *lineState) (ctr.Line,
 	if budget <= 0 {
 		budget = DefaultRetryBudget
 	}
+	// Direct mode keys the tree with counter 0 everywhere (fetchDirect,
+	// evictDirect, heal); the re-verify must match or a transient fault
+	// could never requalify.
+	seq := st.seq
+	if c.direct != nil {
+		seq = 0
+	}
 	t := now
 	for i := 0; i < budget; i++ {
 		c.sec.Retries++
 		t = c.dram.Access(t, la, ctr.LineSize, false)
-		ok, vDone := c.tree.Verify(t, la, st.seq, st.enc)
+		ok, vDone := c.tree.Verify(t, la, seq, st.enc)
 		if vDone > t {
 			t = vDone
 		}
@@ -681,11 +696,11 @@ func (c *Controller) heal(now uint64, la uint64, st *lineState) uint64 {
 		t := c.dram.Access(now, la, ctr.LineSize, true)
 		return maxU64(maxU64(t, ready), upDone)
 	}
-	base := st.goodSeq
-	if st.seq > base {
-		base = st.seq
-	}
-	next := c.pred.NextSeqForEvict(la, base)
+	// Advance from the shadow goodSeq alone: a legitimate st.seq never
+	// exceeds it (tampering only lowers or replays counters), so a larger
+	// st.seq is attacker-controlled — e.g. an underflowed rollback — and
+	// must not steer the fresh-counter choice.
+	next := c.pred.NextSeqForEvict(la, st.goodSeq)
 	st.seq = next
 	st.goodSeq = next
 	var pad ctr.Pad
@@ -723,13 +738,11 @@ func (c *Controller) EvictLine(now uint64, vaddr uint64) uint64 {
 		// run begin could hold.
 		c.faults.ObservePair(la, st.enc, st.seq)
 	}
-	// Advance from the shadow goodSeq when the off-chip counter was
-	// rolled back by an adversary: a writeback must never reuse a pad.
-	base := st.seq
-	if st.goodSeq > base {
-		base = st.goodSeq
-	}
-	next := c.pred.NextSeqForEvict(la, base)
+	// Advance from the shadow goodSeq, never the off-chip counter: a
+	// legitimate st.seq equals goodSeq, and any divergence is adversarial
+	// (rollback, replay, or underflow wrap) — a writeback must never let
+	// it pick the pad.
+	next := c.pred.NextSeqForEvict(la, st.goodSeq)
 	st.seq = next
 	st.goodSeq = next
 
