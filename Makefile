@@ -12,7 +12,7 @@
 GO ?= go
 BENCH_LABEL ?= local
 
-.PHONY: build vet test race fuzz verify bench
+.PHONY: build vet test race fuzz smoke verify bench
 
 build:
 	$(GO) build ./...
@@ -27,10 +27,16 @@ test:
 # worker pool; a full -race suite multiplies the 40 s experiment tests
 # several-fold for no extra concurrency coverage.
 race:
-	$(GO) test -race ./internal/runpool
+	$(GO) test -race ./internal/runpool ./internal/server
 	$(GO) test -race ./internal/experiments -run 'Parallel|SweepProgress|SweepError|SweepCancel|SweepPreCancelled|SimTimeout'
 	$(GO) test -race ./internal/faults ./internal/secmem
 	$(GO) test -race ./internal/sim -run 'Tamper|Replay|Halt|CleanRunWithArmed|RunContextCancel'
+
+# Boot the job server on an ephemeral port, push one simulation through
+# the full HTTP path (streamed NDJSON, then a cache-hit repeat), and
+# exit non-zero on any mismatch. This is the CI boot check.
+smoke:
+	$(GO) run ./cmd/ctrpredd -smoke -workers 2
 
 # Short coverage-guided smoke of the integrity tree's update/verify/
 # corrupt interleavings; the committed seed corpus under
@@ -39,7 +45,7 @@ race:
 fuzz:
 	$(GO) test ./internal/integrity -run '^$$' -fuzz FuzzIntegrityTree -fuzztime 30s
 
-verify: build vet test race fuzz
+verify: build vet test race fuzz smoke
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . \

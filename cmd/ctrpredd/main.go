@@ -1,0 +1,192 @@
+// Command ctrpredd serves the simulator as a long-lived HTTP/JSON job
+// service: POST a simulation or experiment request, stream its progress
+// as NDJSON, and fetch completed results from a content-addressed
+// cache. See internal/server for the API surface.
+//
+// Usage:
+//
+//	ctrpredd -addr localhost:8844 -workers 4 -queue 8
+//	ctrpredd -smoke            # boot, self-test one job over HTTP, exit
+//
+// A first session:
+//
+//	curl -s localhost:8844/v1/benchmarks | jq '.[].name'
+//	curl -s -X POST localhost:8844/v1/sim?stream=1 \
+//	     -d '{"bench":"mcf","scheme":"pred-context","instructions":1000000}'
+//	curl -s localhost:8844/metrics | jq .
+//
+// SIGINT/SIGTERM drain gracefully: admission stops, running jobs get
+// the -drain window to finish, then their contexts are cancelled and
+// the simulator stops within one checkpoint interval.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ctrpred/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ctrpredd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", "localhost:8844", "listen address")
+		workers = fs.Int("workers", 0, "concurrent jobs (0 = one per CPU)")
+		queue   = fs.Int("queue", 0, "jobs queued beyond the running ones (0 = 2x workers, -1 = none); a full queue answers 429")
+		cache   = fs.Int("cache", 256, "result-cache entries (-1 disables caching)")
+		timeout = fs.Duration("timeout", 0, "default per-job deadline for requests that carry none (0 = unbounded)")
+		drain   = fs.Duration("drain", 5*time.Second, "graceful-shutdown window before running jobs are cancelled")
+		pprofF  = fs.Bool("pprof", false, "expose /debug/pprof")
+		smoke   = fs.Bool("smoke", false, "boot on an ephemeral port, push one job through the full HTTP path, verify the result and the cache, then exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	cfg := server.Config{
+		Workers: *workers, Backlog: *queue, CacheEntries: *cache,
+		DefaultTimeout: *timeout, DrainTimeout: *drain, EnablePprof: *pprofF,
+	}
+	if *smoke {
+		return runSmoke(cfg, stdout, stderr)
+	}
+
+	s := server.New(cfg)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "ctrpredd: %v\n", err)
+		return 1
+	}
+	hs := &http.Server{Handler: s, ReadHeaderTimeout: 10 * time.Second}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(stdout, "ctrpredd listening on http://%s\n", ln.Addr())
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "ctrpredd: serve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process the default way
+
+	fmt.Fprintf(stdout, "ctrpredd: draining (up to %s before jobs are cancelled)\n", *drain)
+	// Jobs first — Shutdown drains or cancels them, which lets in-flight
+	// request handlers finish — then the HTTP listener.
+	sdCtx, cancel := context.WithTimeout(context.Background(), *drain+30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(sdCtx); err != nil {
+		fmt.Fprintf(stderr, "ctrpredd: drain: %v\n", err)
+		return 1
+	}
+	if err := hs.Shutdown(sdCtx); err != nil {
+		fmt.Fprintf(stderr, "ctrpredd: http shutdown: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "ctrpredd: bye")
+	return 0
+}
+
+// runSmoke is the self-test behind -smoke: a real listener, a real
+// streamed job, a real cache hit — the CI boot check without curl.
+func runSmoke(cfg server.Config, stdout, stderr io.Writer) int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "ctrpredd smoke: FAIL: "+format+"\n", args...)
+		return 1
+	}
+	s := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail("listen: %v", err)
+	}
+	hs := &http.Server{Handler: s}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(stdout, "ctrpredd smoke: listening on %s\n", base)
+
+	const body = `{"bench":"mcf","scheme":"pred-context","footprint":"64K","instructions":30000,"seed":7}`
+
+	// A streamed job must open with admission and close with a result.
+	resp, err := http.Post(base+"/v1/sim?stream=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		return fail("POST stream: %v", err)
+	}
+	var first, last server.Event
+	events := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev server.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			resp.Body.Close()
+			return fail("bad stream line %q: %v", sc.Text(), err)
+		}
+		if events == 0 {
+			first = ev
+		}
+		last = ev
+		events++
+	}
+	resp.Body.Close()
+	if err := sc.Err(); err != nil {
+		return fail("stream read: %v", err)
+	}
+	if first.Event != "accepted" || first.Key == "" {
+		return fail("first event = %+v, want accepted with key", first)
+	}
+	if last.Event != "result" || len(last.Snapshot) == 0 {
+		return fail("terminal event = %+v, want result with snapshot", last)
+	}
+	fmt.Fprintf(stdout, "ctrpredd smoke: streamed %d events, result key %s\n", events, last.Key)
+
+	// The identical request again must be answered from the cache.
+	resp, err = http.Post(base+"/v1/sim", "application/json", strings.NewReader(body))
+	if err != nil {
+		return fail("POST repeat: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" {
+		return fail("repeat request: status %d, X-Cache %q, want 200/hit", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	fmt.Fprintln(stdout, "ctrpredd smoke: repeat request served from cache")
+
+	hz, err := http.Get(base + "/healthz")
+	if err != nil {
+		return fail("GET healthz: %v", err)
+	}
+	io.Copy(io.Discard, hz.Body)
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		return fail("healthz = %d, want 200", hz.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		return fail("shutdown: %v", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		return fail("http shutdown: %v", err)
+	}
+	fmt.Fprintln(stdout, "ctrpredd smoke: PASS")
+	return 0
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSmokeMode drives the daemon's -smoke self-test: a real listener,
+// one streamed job over HTTP, and a cache-hit repeat. This is the same
+// check CI runs as its boot smoke step.
+func TestSmokeMode(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-smoke", "-workers", "2"}, &out, &errOut); code != 0 {
+		t.Fatalf("run -smoke = %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Fatalf("smoke output missing PASS:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "served from cache") {
+		t.Fatalf("smoke output missing cache confirmation:\n%s", out.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("run with bad flag = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "flag") {
+		t.Fatalf("stderr missing usage: %s", errOut.String())
+	}
+}

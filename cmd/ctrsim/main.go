@@ -11,6 +11,8 @@
 // Schemes: baseline, oracle, seqcache:<size>, pred-regular,
 // pred-twolevel, pred-context, combined:<size> (seq cache + regular
 // prediction). Sizes accept K/M suffixes.
+//
+// Exit codes: 0 clean run, 2 usage or run error, 3 security halt.
 package main
 
 import (
@@ -27,24 +29,39 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its streams and exit code lifted out, so the CLI
+// contract — flag validation, implied options, exit codes — is testable
+// in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ctrsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench   = flag.String("bench", "mcf", "benchmark to run (see -list)")
-		scheme  = flag.String("scheme", "pred-regular", "counter scheme: baseline|oracle|direct|seqcache:<size>|pred-regular|pred-twolevel|pred-context|combined:<size>")
-		l2      = flag.String("l2", "256K", "L2 size (256K or 1M per the paper; any power of two works)")
-		instr   = flag.Uint64("instr", 1_000_000, "instruction budget")
-		foot    = flag.String("footprint", "2M", "workload footprint")
-		mode    = flag.String("mode", "performance", "performance (IPC) or hitrate (fast functional)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		flush   = flag.Uint64("flush", 0, "dirty-flush interval in cycles (0 = instr/10)")
-		integ   = flag.Bool("integrity", false, "attach the hash-tree integrity layer")
-		faultsF = flag.String("faults", "", "attack plan, e.g. 'bitflip@fetch:100,replay@instr:50000' (implies -integrity)")
-		recov   = flag.String("recovery", "halt", "recovery policy on detected tampering: halt|quarantine")
-		metrics = flag.String("metrics", "", "write the metrics snapshot to this path (JSON; a .csv suffix selects CSV; '-' = stdout)")
-		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-		list    = flag.Bool("list", false, "list benchmarks and exit")
-		verbose = flag.Bool("v", false, "print extended statistics")
+		bench   = fs.String("bench", "mcf", "benchmark to run (see -list)")
+		scheme  = fs.String("scheme", "pred-regular", "counter scheme: baseline|oracle|direct|seqcache:<size>|pred-regular|pred-twolevel|pred-context|combined:<size>")
+		l2      = fs.String("l2", "256K", "L2 size (256K or 1M per the paper; any power of two works)")
+		instr   = fs.Uint64("instr", 1_000_000, "instruction budget")
+		foot    = fs.String("footprint", "2M", "workload footprint")
+		mode    = fs.String("mode", "performance", "performance (IPC) or hitrate (fast functional)")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		flush   = fs.Uint64("flush", 0, "dirty-flush interval in cycles (0 = instr/10)")
+		integ   = fs.Bool("integrity", false, "attach the hash-tree integrity layer")
+		faultsF = fs.String("faults", "", "attack plan, e.g. 'bitflip@fetch:100,replay@instr:50000' (implies -integrity)")
+		recov   = fs.String("recovery", "halt", "recovery policy on detected tampering: halt|quarantine")
+		metrics = fs.String("metrics", "", "write the metrics snapshot to this path (JSON; a .csv suffix selects CSV; '-' = stdout)")
+		pprof   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		list    = fs.Bool("list", false, "list benchmarks and exit")
+		verbose = fs.Bool("v", false, "print extended statistics")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fatal := func(err error) int {
+		fmt.Fprintln(stderr, "ctrsim:", err)
+		return 2
+	}
 
 	if *list {
 		for _, b := range ctrpred.BenchmarkCatalog() {
@@ -55,29 +72,29 @@ func main() {
 			if b.WriteHeavy {
 				tags += " [write-heavy]"
 			}
-			fmt.Printf("%-9s %s%s\n", b.Name, b.Description, tags)
+			fmt.Fprintf(stdout, "%-9s %s%s\n", b.Name, b.Description, tags)
 		}
-		return
+		return 0
 	}
 	if *pprof != "" {
 		go func() {
 			if err := http.ListenAndServe(*pprof, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "ctrsim: pprof:", err)
+				fmt.Fprintln(stderr, "ctrsim: pprof:", err)
 			}
 		}()
 	}
 
 	sch, err := ctrpred.ParseScheme(*scheme)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	l2Bytes, err := ctrpred.ParseSize(*l2)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	footBytes, err := ctrpred.ParseSize(*foot)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 
 	cfg := ctrpred.DefaultConfig(sch).
@@ -88,7 +105,7 @@ func main() {
 	if *mode == "hitrate" {
 		cfg = cfg.WithMode(ctrpred.ModeHitRate)
 	} else if *mode != "performance" {
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+		return fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
 	if *flush != 0 {
 		cfg.Mem.FlushInterval = *flush
@@ -101,86 +118,87 @@ func main() {
 	if *faultsF != "" {
 		plan, err := ctrpred.ParseFaultPlan(*faultsF)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		cfg = cfg.WithFaults(&plan)
 	}
 	policy, err := ctrpred.ParseRecovery(*recov)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	cfg = cfg.WithRecovery(policy)
 
 	res, err := ctrpred.Run(*bench, cfg)
 	if err != nil {
 		if errors.Is(err, ctrpred.ErrUnknownBenchmark) {
-			fatal(fmt.Errorf("%v\nrun 'ctrsim -list' for the benchmark set", err))
+			return fatal(fmt.Errorf("%v\nrun 'ctrsim -list' for the benchmark set", err))
 		}
 		var serr *ctrpred.SecurityError
 		if errors.As(err, &serr) {
 			// The run halted on a detected security violation: report what
 			// was measured up to the halt, then exit distinctly.
-			printSecurity(res)
-			fmt.Fprintln(os.Stderr, "ctrsim: halted:", serr)
-			os.Exit(3)
+			printSecurity(stdout, res)
+			fmt.Fprintln(stderr, "ctrsim: halted:", serr)
+			return 3
 		}
-		fatal(err)
+		return fatal(err)
 	}
 
-	fmt.Printf("benchmark      %s\n", res.Benchmark)
-	fmt.Printf("scheme         %s\n", res.Scheme)
-	fmt.Printf("mode           %s\n", res.Mode)
-	fmt.Printf("instructions   %d\n", res.CPU.Instructions)
-	fmt.Printf("cycles         %d\n", res.CPU.Cycles)
-	fmt.Printf("IPC            %.4f\n", res.IPC())
-	fmt.Printf("L2 miss rate   %.4f\n", 1-res.L2.HitRate())
-	fmt.Printf("mem fetches    %d\n", res.Ctrl.Fetches)
-	fmt.Printf("writebacks     %d\n", res.Ctrl.Evictions)
-	fmt.Printf("pred rate      %.4f\n", res.PredRate())
-	fmt.Printf("seq$ hit rate  %.4f\n", res.SeqHitRate())
-	fmt.Printf("pad violations %d\n", res.PadViolations)
+	fmt.Fprintf(stdout, "benchmark      %s\n", res.Benchmark)
+	fmt.Fprintf(stdout, "scheme         %s\n", res.Scheme)
+	fmt.Fprintf(stdout, "mode           %s\n", res.Mode)
+	fmt.Fprintf(stdout, "instructions   %d\n", res.CPU.Instructions)
+	fmt.Fprintf(stdout, "cycles         %d\n", res.CPU.Cycles)
+	fmt.Fprintf(stdout, "IPC            %.4f\n", res.IPC())
+	fmt.Fprintf(stdout, "L2 miss rate   %.4f\n", 1-res.L2.HitRate())
+	fmt.Fprintf(stdout, "mem fetches    %d\n", res.Ctrl.Fetches)
+	fmt.Fprintf(stdout, "writebacks     %d\n", res.Ctrl.Evictions)
+	fmt.Fprintf(stdout, "pred rate      %.4f\n", res.PredRate())
+	fmt.Fprintf(stdout, "seq$ hit rate  %.4f\n", res.SeqHitRate())
+	fmt.Fprintf(stdout, "pad violations %d\n", res.PadViolations)
 	if *verbose {
-		fmt.Printf("\n-- detail --\n")
-		fmt.Printf("loads/stores/branches  %d/%d/%d\n", res.CPU.Loads, res.CPU.Stores, res.CPU.Branches)
-		fmt.Printf("branch mispredicts     %d\n", res.CPU.Mispredicts)
-		fmt.Printf("L1D hit rate           %.4f\n", res.L1D.HitRate())
-		fmt.Printf("predictions issued     %d\n", res.Pred.Guesses)
-		fmt.Printf("root resets/rebases    %d/%d\n", res.Pred.Resets, res.Pred.Rebases)
-		fmt.Printf("counter-buffer hits    %d\n", res.Ctrl.CounterBufHits)
-		fmt.Printf("engine issued          %v (stall %d)\n", res.Engine.Issued, res.Engine.StallCycles)
-		fmt.Printf("DRAM r/w               %d/%d (row hit %d, miss %d, conflict %d)\n",
+		fmt.Fprintf(stdout, "\n-- detail --\n")
+		fmt.Fprintf(stdout, "loads/stores/branches  %d/%d/%d\n", res.CPU.Loads, res.CPU.Stores, res.CPU.Branches)
+		fmt.Fprintf(stdout, "branch mispredicts     %d\n", res.CPU.Mispredicts)
+		fmt.Fprintf(stdout, "L1D hit rate           %.4f\n", res.L1D.HitRate())
+		fmt.Fprintf(stdout, "predictions issued     %d\n", res.Pred.Guesses)
+		fmt.Fprintf(stdout, "root resets/rebases    %d/%d\n", res.Pred.Resets, res.Pred.Rebases)
+		fmt.Fprintf(stdout, "counter-buffer hits    %d\n", res.Ctrl.CounterBufHits)
+		fmt.Fprintf(stdout, "engine issued          %v (stall %d)\n", res.Engine.Issued, res.Engine.StallCycles)
+		fmt.Fprintf(stdout, "DRAM r/w               %d/%d (row hit %d, miss %d, conflict %d)\n",
 			res.DRAM.Reads, res.DRAM.Writes, res.DRAM.RowHits, res.DRAM.RowMisses, res.DRAM.RowConflicts)
-		fmt.Printf("fetch latency          %s\n", res.Ctrl.FetchLatency)
-		fmt.Printf("decrypt exposure       %d cycles total\n", res.Ctrl.DecryptExposed)
-		fmt.Printf("flushes (lines)        %d (%d)\n", res.Hierarchy.Flushes, res.Hierarchy.FlushedLines)
+		fmt.Fprintf(stdout, "fetch latency          %s\n", res.Ctrl.FetchLatency)
+		fmt.Fprintf(stdout, "decrypt exposure       %d cycles total\n", res.Ctrl.DecryptExposed)
+		fmt.Fprintf(stdout, "flushes (lines)        %d (%d)\n", res.Hierarchy.Flushes, res.Hierarchy.FlushedLines)
 	}
-	printSecurity(res)
+	printSecurity(stdout, res)
 	if *metrics != "" {
-		if err := writeMetrics(*metrics, res.Snapshot()); err != nil {
-			fatal(err)
+		if err := writeMetrics(stdout, *metrics, res.Snapshot()); err != nil {
+			return fatal(err)
 		}
 	}
+	return 0
 }
 
 // printSecurity reports the adversarial side of a run — injected and
 // detected attacks, recovery-path counters — when a fault injector was
 // armed or security events occurred.
-func printSecurity(res ctrpred.Result) {
+func printSecurity(w io.Writer, res ctrpred.Result) {
 	if res.Faults != nil {
-		fmt.Printf("\n-- faults --\n")
-		fmt.Printf("attacks injected/detected  %d/%d\n", res.Faults.TotalInjected(), res.Faults.TotalDetected())
+		fmt.Fprintf(w, "\n-- faults --\n")
+		fmt.Fprintf(w, "attacks injected/detected  %d/%d\n", res.Faults.TotalInjected(), res.Faults.TotalDetected())
 	}
 	if res.Security != nil {
-		fmt.Printf("tamper detections          %d\n", res.Ctrl.TamperDetected)
-		fmt.Printf("quarantined/retries/healed %d/%d/%d\n",
+		fmt.Fprintf(w, "tamper detections          %d\n", res.Ctrl.TamperDetected)
+		fmt.Fprintf(w, "quarantined/retries/healed %d/%d/%d\n",
 			res.Security.Quarantined, res.Security.Retries, res.Security.Healed)
 	}
 }
 
 // writeMetrics serializes the snapshot to path: JSON by default, CSV when
 // the path ends in .csv, stdout when path is "-".
-func writeMetrics(path string, snap *ctrpred.Snapshot) error {
-	var w io.Writer = os.Stdout
+func writeMetrics(stdout io.Writer, path string, snap *ctrpred.Snapshot) error {
+	var w io.Writer = stdout
 	if path != "-" {
 		f, err := os.Create(path)
 		if err != nil {
@@ -198,9 +216,4 @@ func writeMetrics(path string, snap *ctrpred.Snapshot) error {
 	}
 	_, err = w.Write(b)
 	return err
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ctrsim:", err)
-	os.Exit(2)
 }

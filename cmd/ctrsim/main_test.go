@@ -2,10 +2,81 @@ package main
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"ctrpred"
 )
+
+// cli runs ctrsim in-process and returns its exit code and streams.
+func cli(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code = run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+// TestFaultsImpliesIntegrity pins the CLI contract that -faults arms the
+// integrity layer even without -integrity: under the default halt
+// policy, an injected bit flip must be *detected* (exit 3, a security
+// halt), which can only happen if the hash tree was attached.
+func TestFaultsImpliesIntegrity(t *testing.T) {
+	code, stdout, stderr := cli(t,
+		"-bench", "mcf", "-scheme", "baseline",
+		"-instr", "200000", "-footprint", "64K",
+		"-faults", "bitflip@fetch:100")
+	if code != 3 {
+		t.Fatalf("exit = %d, want 3 (security halt)\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "halted") {
+		t.Fatalf("stderr does not report the halt: %q", stderr)
+	}
+	if !strings.Contains(stdout, "attacks injected/detected") {
+		t.Fatalf("stdout missing the fault report:\n%s", stdout)
+	}
+}
+
+// TestFaultsWithQuarantineRecovers is the same attack under -recovery
+// quarantine: the run must complete (exit 0) and report the recovery
+// counters.
+func TestFaultsWithQuarantineRecovers(t *testing.T) {
+	code, stdout, stderr := cli(t,
+		"-bench", "mcf", "-scheme", "baseline",
+		"-instr", "200000", "-footprint", "64K",
+		"-faults", "bitflip@fetch:100", "-recovery", "quarantine")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "quarantined/retries/healed") {
+		t.Fatalf("stdout missing the recovery report:\n%s", stdout)
+	}
+}
+
+// TestUnknownRecoveryFailsFast pins that a bad -recovery value is a
+// usage error before any simulation runs.
+func TestUnknownRecoveryFailsFast(t *testing.T) {
+	code, stdout, stderr := cli(t,
+		"-bench", "mcf", "-instr", "200000", "-footprint", "64K",
+		"-recovery", "pray")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "recovery") {
+		t.Fatalf("stderr does not name the bad flag: %q", stderr)
+	}
+	if strings.Contains(stdout, "benchmark") {
+		t.Fatalf("a simulation ran despite the usage error:\n%s", stdout)
+	}
+}
+
+func TestUnknownModeAndSchemeFailFast(t *testing.T) {
+	if code, _, stderr := cli(t, "-mode", "sideways"); code != 2 || !strings.Contains(stderr, "mode") {
+		t.Fatalf("bad -mode: exit %d, stderr %q", code, stderr)
+	}
+	if code, _, stderr := cli(t, "-scheme", "frob"); code != 2 || !strings.Contains(stderr, "frob") {
+		t.Fatalf("bad -scheme: exit %d, stderr %q", code, stderr)
+	}
+}
 
 func TestParseSize(t *testing.T) {
 	cases := map[string]int{

@@ -243,6 +243,16 @@ func NewMachine(bench string, cfg Config) (*Machine, error) {
 	return sim.NewMachine(bench, cfg)
 }
 
+// ConfigFingerprint returns the content address of a run: a sha256 hex
+// digest over the benchmark name and the canonical encoding of cfg.
+// Because a run is fully determined by its configuration, two calls with
+// the same fingerprint produce byte-identical metrics snapshots — this
+// is the cache key the ctrpredd job server files results under.
+// Result-neutral fields (Config.CheckInterval) are excluded.
+func ConfigFingerprint(bench string, cfg Config) string {
+	return sim.Fingerprint(bench, cfg)
+}
+
 // DefaultOptions returns the default experiment scope (all benchmarks)
 // and scale.
 func DefaultOptions() ExperimentOptions { return experiments.DefaultOptions() }

@@ -311,25 +311,31 @@ func appendUnique(g []uint64, v uint64) []uint64 {
 	return append(g, v)
 }
 
-// Observe records the true sequence number fetched for vaddr and whether
-// it was among the guesses; it updates the PHV (possibly resetting the
-// page root) and the LOR. It must be called once per memory fetch,
-// whether or not Predict was consulted, when a prediction scheme is
-// active.
-func (p *Predictor) Observe(vaddr uint64, trueSeq uint64, hit bool) {
+// Observe records the true sequence number fetched for vaddr together
+// with the guess list Predict returned for this same fetch (nil when
+// prediction was not consulted — Observe then records a miss); it
+// updates the PHV (possibly resetting the page root) and the LOR, and
+// reports whether the fetch was a prediction hit. It must be called once
+// per memory fetch, whether or not Predict was consulted, when a
+// prediction scheme is active.
+//
+// The guesses are passed explicitly rather than read from the
+// predictor's internal buffer so that the confirmed depth is always
+// attributed to the guess list that actually covered this fetch: an
+// Observe for a fetch whose Predict was not the most recent call must
+// not inherit another line's guesses.
+func (p *Predictor) Observe(vaddr uint64, trueSeq uint64, guesses []uint64) bool {
 	if p.cfg.Scheme == SchemeNone {
-		return
+		return false
 	}
 	p.stats.Fetches++
-	if hit {
-		p.stats.Hits++
-		// The scratch buffer still holds the guesses of the Predict call
-		// this Observe confirms; record how deep the hit sat.
-		for i, g := range p.scratch {
-			if g == trueSeq {
-				p.stats.HitDepth.Observe(uint64(i + 1))
-				break
-			}
+	hit := false
+	for i, g := range guesses {
+		if g == trueSeq {
+			hit = true
+			p.stats.Hits++
+			p.stats.HitDepth.Observe(uint64(i + 1))
+			break
 		}
 	}
 	m := p.page(vaddr)
@@ -355,6 +361,7 @@ func (p *Predictor) Observe(vaddr uint64, trueSeq uint64, hit bool) {
 		p.lor = trueSeq - m.root
 		p.lorValid = true
 	}
+	return hit
 }
 
 func (p *Predictor) resetRoot(m *pageMeta) {
@@ -368,6 +375,11 @@ func (p *Predictor) resetRoot(m *pageMeta) {
 	m.root = p.rnd.Uint64()
 	m.phv = 0
 	m.phvFill = 0
+	// The LOR was an offset from the root just discarded; guessing at
+	// newRoot+lor would spend pipeline slots on candidates no line can
+	// hold. It revalidates at the next fetch that counts from a current
+	// root.
+	p.lorValid = false
 }
 
 // NextSeqForEvict returns the sequence number a dirty eviction of vaddr

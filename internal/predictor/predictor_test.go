@@ -7,6 +7,16 @@ import (
 
 func newPred(s Scheme) *Predictor { return New(DefaultConfig(s)) }
 
+// hitList fabricates the guess list an Observe should see: the true
+// sequence number when the test wants a hit, nothing when it wants a
+// miss.
+func hitList(p *Predictor, addr uint64, hit bool) []uint64 {
+	if hit {
+		return []uint64{p.Root(addr)}
+	}
+	return nil
+}
+
 func contains(g []uint64, v uint64) bool {
 	for _, x := range g {
 		if x == v {
@@ -21,7 +31,7 @@ func TestSchemeNone(t *testing.T) {
 	if g := p.Predict(0x1000); g != nil {
 		t.Fatalf("SchemeNone predicted %v", g)
 	}
-	p.Observe(0x1000, 5, false)
+	p.Observe(0x1000, 5, nil)
 	if p.Stats().Fetches != 0 {
 		t.Fatal("SchemeNone recorded a fetch")
 	}
@@ -82,9 +92,11 @@ func TestPredictHitAfterFewUpdates(t *testing.T) {
 
 func TestObserveStats(t *testing.T) {
 	p := newPred(SchemeRegular)
-	p.Predict(0x1000)
-	p.Observe(0x1000, p.Root(0x1000), true)
-	p.Observe(0x1000, 12345, false)
+	g := p.Predict(0x1000)
+	if !p.Observe(0x1000, p.Root(0x1000), g) {
+		t.Fatal("root guess not confirmed as a hit")
+	}
+	p.Observe(0x1000, 12345, nil)
 	s := p.Stats()
 	if s.Fetches != 2 || s.Hits != 1 {
 		t.Fatalf("stats = %+v", s)
@@ -103,7 +115,7 @@ func TestAdaptiveResetAfterSustainedMisses(t *testing.T) {
 	oldRoot := p.Root(addr)
 	// Fill the 16-bit PHV with misses; at threshold 12 the root resets.
 	for i := 0; i < p.Config().PHVBits; i++ {
-		p.Observe(addr, 999999, false)
+		p.Observe(addr, 999999, nil)
 	}
 	if p.Stats().Resets == 0 {
 		t.Fatal("no reset after sustained misses")
@@ -119,7 +131,7 @@ func TestNoResetBeforePHVFull(t *testing.T) {
 	p := newPred(SchemeRegular)
 	addr := uint64(0x2000)
 	for i := 0; i < p.Config().ResetThreshold; i++ {
-		p.Observe(addr, 999999, false)
+		p.Observe(addr, 999999, nil)
 	}
 	if p.Stats().Resets != 0 {
 		t.Fatal("reset before PHV window filled")
@@ -130,13 +142,13 @@ func TestNoResetWhenMostlyHitting(t *testing.T) {
 	p := newPred(SchemeRegular)
 	addr := uint64(0x3000)
 	for i := 0; i < 100; i++ {
-		p.Observe(addr, p.Root(addr), i%2 == 0) // 50% misses < 12/16
+		p.Observe(addr, p.Root(addr), hitList(p, addr, i%2 == 0)) // 50% misses < 12/16
 	}
 	if p.Stats().Resets != 0 {
 		t.Fatalf("resets = %d with miss rate below threshold", p.Stats().Resets)
 	}
 	for i := 0; i < 100; i++ {
-		p.Observe(addr, p.Root(addr), i%8 != 0) // 12.5% misses
+		p.Observe(addr, p.Root(addr), hitList(p, addr, i%8 != 0)) // 12.5% misses
 	}
 	if p.Stats().Resets != 0 {
 		t.Fatal("reset while prediction healthy")
@@ -148,7 +160,7 @@ func TestNonAdaptiveNeverResets(t *testing.T) {
 	cfg.Adaptive = false
 	p := New(cfg)
 	for i := 0; i < 200; i++ {
-		p.Observe(0x1000, 999999, false)
+		p.Observe(0x1000, 999999, nil)
 	}
 	if p.Stats().Resets != 0 {
 		t.Fatal("non-adaptive predictor reset a root")
@@ -161,7 +173,7 @@ func TestRebaseAfterReset(t *testing.T) {
 	seq := p.NextSeqForEvict(addr, p.Root(addr)) // root+1, from current root
 	// Force a reset.
 	for i := 0; i < p.Config().PHVBits; i++ {
-		p.Observe(addr, 0xdeadbeef, false)
+		p.Observe(addr, 0xdeadbeef, nil)
 	}
 	newRoot := p.Root(addr)
 	next := p.NextSeqForEvict(addr, seq)
@@ -182,7 +194,7 @@ func TestContextPredictionCoversLOR(t *testing.T) {
 	addr := uint64(0x9000)
 	root := p.Root(addr)
 	// Observe a fetch at offset 20 — far outside the regular depth.
-	p.Observe(addr, root+20, false)
+	p.Observe(addr, root+20, nil)
 	g := p.Predict(addr)
 	for off := uint64(17); off <= 23; off++ { // swing 3 around LOR=20
 		if !contains(g, root+off) {
@@ -204,7 +216,7 @@ func TestContextLORCrossesPages(t *testing.T) {
 	// prediction on page B (spatial coherence of update counts).
 	p := newPred(SchemeContext)
 	a, b := uint64(0x10000), uint64(0x20000)
-	p.Observe(a, p.Root(a)+9, false)
+	p.Observe(a, p.Root(a)+9, nil)
 	if !contains(p.Predict(b), p.Root(b)+9) {
 		t.Fatal("LOR offset not applied across pages")
 	}
@@ -213,7 +225,7 @@ func TestContextLORCrossesPages(t *testing.T) {
 func TestContextGuessDedup(t *testing.T) {
 	p := newPred(SchemeContext)
 	addr := uint64(0xa000)
-	p.Observe(addr, p.Root(addr)+1, true) // LOR=1 overlaps regular range
+	p.Observe(addr, p.Root(addr)+1, []uint64{p.Root(addr) + 1}) // LOR=1 overlaps regular range
 	g := p.Predict(addr)
 	seen := map[uint64]bool{}
 	for _, v := range g {
@@ -228,7 +240,7 @@ func TestContextLORClampAtZero(t *testing.T) {
 	p := newPred(SchemeContext)
 	addr := uint64(0xb000)
 	root := p.Root(addr)
-	p.Observe(addr, root+1, true) // LOR=1 < swing → lower bound clamps to 0
+	p.Observe(addr, root+1, []uint64{root + 1}) // LOR=1 < swing → lower bound clamps to 0
 	g := p.Predict(addr)
 	for _, v := range g {
 		if v-root > uint64(p.Config().Depth) && v-root > uint64(1+p.Config().Swing) {
@@ -314,7 +326,7 @@ func TestRootHistoryPredictsOldRoots(t *testing.T) {
 	addr := uint64(0xf000)
 	oldRoot := p.Root(addr)
 	for i := 0; i < cfg.PHVBits; i++ {
-		p.Observe(addr, 0xabcdef, false)
+		p.Observe(addr, 0xabcdef, nil)
 	}
 	if p.Root(addr) == oldRoot {
 		t.Fatal("expected reset")
@@ -332,7 +344,7 @@ func TestRootHistoryBounded(t *testing.T) {
 	addr := uint64(0x11000)
 	for r := 0; r < 5; r++ {
 		for i := 0; i < cfg.PHVBits; i++ {
-			p.Observe(addr, 0xabcdef, false)
+			p.Observe(addr, 0xabcdef, nil)
 		}
 	}
 	if p.Stats().Resets < 3 {
@@ -349,14 +361,14 @@ func TestPHVClearedOnReset(t *testing.T) {
 	p := newPred(SchemeRegular)
 	addr := uint64(0x12000)
 	for i := 0; i < p.Config().PHVBits; i++ {
-		p.Observe(addr, 0xabc, false)
+		p.Observe(addr, 0xabc, nil)
 	}
 	resets := p.Stats().Resets
 	if resets != 1 {
 		t.Fatalf("resets = %d, want 1", resets)
 	}
 	// One more miss must NOT immediately re-trigger (PHV was cleared).
-	p.Observe(addr, 0xabc, false)
+	p.Observe(addr, 0xabc, nil)
 	if p.Stats().Resets != resets {
 		t.Fatal("reset re-triggered before PHV refilled")
 	}
@@ -374,7 +386,7 @@ func TestMonotoneCountersUnique(t *testing.T) {
 		for i := 0; i < int(evictions%50)+2; i++ {
 			if i == int(resetAt%20) {
 				for j := 0; j < p.Config().PHVBits; j++ {
-					p.Observe(addr, 0xffffffffff, false)
+					p.Observe(addr, 0xffffffffff, nil)
 				}
 			}
 			seq = p.NextSeqForEvict(addr, seq)
@@ -443,6 +455,146 @@ func TestPopcount(t *testing.T) {
 	}
 }
 
+func TestHitDepthAttributedToOwnGuessList(t *testing.T) {
+	// Regression: Observe used to scan the predictor's internal scratch
+	// buffer — whatever Predict ran last — so a hit confirmed for a fetch
+	// whose Predict was not the most recent call attributed the depth to
+	// another line's guess list. The confirming list is now passed
+	// explicitly.
+	p := newPred(SchemeContext)
+	a, b := uint64(0x1000), uint64(0x200000)
+	rootA := p.Root(a)
+	gA := append([]uint64(nil), p.Predict(a)...) // snapshot; Predict reuses its buffer
+	// A second line's fetch runs in between: its Observe moves the LOR and
+	// its Predict overwrites the internal buffer with guesses that do not
+	// contain A's counter at the same position.
+	p.Observe(b, p.Root(b)+40, nil)
+	p.Predict(b)
+	trueSeq := rootA + 3 // position 4 in A's guess list
+	if !p.Observe(a, trueSeq, gA) {
+		t.Fatal("hit in A's own guess list not confirmed")
+	}
+	h := p.Stats().HitDepth
+	if h.Total != 1 || h.Sum != 4 {
+		t.Fatalf("hit depth total/sum = %d/%d, want 1/4 (depth taken from A's list)", h.Total, h.Sum)
+	}
+}
+
+func TestResetInvalidatesLOR(t *testing.T) {
+	// Regression: an adaptive root reset used to leave the LOR valid, so
+	// context prediction kept guessing newRoot+lor — an offset relative to
+	// the discarded root — inflating Guesses with candidates no line can
+	// hold.
+	p := newPred(SchemeContext)
+	addr := uint64(0x5000)
+	root := p.Root(addr)
+	p.Observe(addr, root+20, nil) // LOR = 20, valid, outside the regular depth
+	withLOR := p.Config().Depth + 1 + 2*p.Config().Swing + 1
+	if n := len(p.Predict(addr)); n != withLOR {
+		t.Fatalf("guesses with LOR = %d, want %d", n, withLOR)
+	}
+	guessesBefore := p.Stats().Guesses
+	// Sustained misses reset the page root.
+	for i := 0; i < p.Config().PHVBits; i++ {
+		p.Observe(addr, 0xdead, nil)
+	}
+	if p.Stats().Resets == 0 {
+		t.Fatal("expected an adaptive reset")
+	}
+	g := p.Predict(addr)
+	if n := p.Config().Depth + 1; len(g) != n {
+		t.Fatalf("guesses after reset = %d, want %d (LOR offsets die with their root)", len(g), n)
+	}
+	if got, want := p.Stats().Guesses-guessesBefore, uint64(p.Config().Depth+1); got != want {
+		t.Fatalf("Guesses grew by %d across the reset, want %d", got, want)
+	}
+	// The LOR revalidates at the next fetch counting from a live root.
+	p.Observe(addr, p.Root(addr)+9, nil)
+	if n := len(p.Predict(addr)); n <= p.Config().Depth+1 {
+		t.Fatalf("LOR did not revalidate: %d guesses", n)
+	}
+}
+
+func TestPredictorAccountingProperties(t *testing.T) {
+	// Property-style sweep over every scheme (plus a root-history
+	// variant): Predict's guesses are always deduplicated, Stats.Guesses
+	// equals the summed lengths of the returned guess lists, and the hit
+	// depth histogram records exactly one sample per hit.
+	configs := map[string]Config{
+		"regular":  DefaultConfig(SchemeRegular),
+		"twolevel": DefaultConfig(SchemeTwoLevel),
+		"context":  DefaultConfig(SchemeContext),
+	}
+	hist := DefaultConfig(SchemeRegular)
+	hist.HistoryDepth = 2
+	configs["regular+history"] = hist
+
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			p := New(cfg)
+			rnd := uint64(0x9e3779b97f4a7c15)
+			next := func(n uint64) uint64 { // xorshift; deterministic, no global rand
+				rnd ^= rnd << 13
+				rnd ^= rnd >> 7
+				rnd ^= rnd << 17
+				return rnd % n
+			}
+			lineSeq := map[uint64]uint64{}
+			var guessSum, fetches, hits uint64
+			for i := 0; i < 3000; i++ {
+				addr := next(8)*4096 + next(16)*32
+				cur, ok := lineSeq[addr]
+				if !ok {
+					cur = p.Root(addr)
+				}
+				switch next(3) {
+				case 0: // fetch: predict then observe the line's true counter
+					g := p.Predict(addr)
+					seen := make(map[uint64]bool, len(g))
+					for _, v := range g {
+						if seen[v] {
+							t.Fatalf("duplicate guess %d in %v", v, g)
+						}
+						seen[v] = true
+					}
+					guessSum += uint64(len(g))
+					trueSeq := cur
+					if next(4) == 0 {
+						trueSeq = next(1 << 40) // junk counter: certain miss territory
+					}
+					fetches++
+					if p.Observe(addr, trueSeq, g) {
+						hits++
+					}
+				case 1: // dirty eviction advances the counter
+					lineSeq[addr] = p.NextSeqForEvict(addr, cur)
+				case 2: // fetch that never consulted the predictor
+					fetches++
+					if p.Observe(addr, cur, nil) {
+						t.Fatal("Observe(nil guesses) reported a hit")
+					}
+				}
+			}
+			s := p.Stats()
+			if s.Guesses != guessSum {
+				t.Errorf("Stats.Guesses = %d, want summed list lengths %d", s.Guesses, guessSum)
+			}
+			if s.Fetches != fetches || s.Hits != hits {
+				t.Errorf("fetches/hits = %d/%d, want %d/%d", s.Fetches, s.Hits, fetches, hits)
+			}
+			if s.HitDepth.Total != s.Hits {
+				t.Errorf("HitDepth total %d != hits %d", s.HitDepth.Total, s.Hits)
+			}
+			if s.Hits > s.Fetches {
+				t.Errorf("hits %d exceed fetches %d", s.Hits, s.Fetches)
+			}
+			if hits == 0 {
+				t.Error("property run produced no hits; workload not exercising prediction")
+			}
+		})
+	}
+}
+
 func BenchmarkPredictRegular(b *testing.B) {
 	p := newPred(SchemeRegular)
 	for i := 0; i < b.N; i++ {
@@ -452,7 +604,7 @@ func BenchmarkPredictRegular(b *testing.B) {
 
 func BenchmarkPredictContext(b *testing.B) {
 	p := newPred(SchemeContext)
-	p.Observe(0, p.Root(0)+9, false)
+	p.Observe(0, p.Root(0)+9, nil)
 	for i := 0; i < b.N; i++ {
 		p.Predict(uint64(i%1024) * 32)
 	}

@@ -525,7 +525,9 @@ func (c *Controller) FetchLine(now uint64, vaddr uint64) FetchResult {
 					}
 				}
 			}
-			c.pred.Observe(la, trueSeq, predicted)
+			// The guess list is handed back so the hit depth is attributed
+			// to this fetch's own guesses, never a stale internal buffer.
+			c.pred.Observe(la, trueSeq, guesses)
 		}
 	}
 	if predicted {

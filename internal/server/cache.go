@@ -1,0 +1,83 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the content-addressed store of completed results:
+// canonical request hash → final snapshot JSON. Entries are immutable —
+// a key fully determines the simulation output — so a hit is served
+// without touching the job queue at all. Bounded LRU; a repeated sweep
+// of distinct configs evicts the coldest results first.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	byKey   map[string]*list.Element
+	order   list.List // front = most recently used
+	hits    uint64
+	misses  uint64
+	evicted uint64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newResultCache builds a cache holding up to capacity results;
+// capacity <= 0 disables caching (every lookup misses, puts are
+// dropped).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, byKey: make(map[string]*list.Element)}
+}
+
+func (c *resultCache) get(key string) ([]byte, bool) {
+	if c == nil || c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+func (c *resultCache) put(key string, body []byte) {
+	if c == nil || c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		// Same key ⇒ same bytes; just refresh recency.
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	for len(c.byKey) > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		c.evicted++
+	}
+}
+
+type cacheStats struct {
+	entries, capacity       int
+	hits, misses, evictions uint64
+}
+
+func (c *resultCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		entries: len(c.byKey), capacity: c.cap,
+		hits: c.hits, misses: c.misses, evictions: c.evicted,
+	}
+}

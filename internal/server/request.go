@@ -1,0 +1,259 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"ctrpred/internal/experiments"
+	"ctrpred/internal/faults"
+	"ctrpred/internal/secmem"
+	"ctrpred/internal/sha256"
+	"ctrpred/internal/sim"
+	"ctrpred/internal/workload"
+)
+
+// SimRequest is the JSON body of POST /v1/sim: one simulation run,
+// exposing the full sim.Config surface the CLIs expose. Zero-valued
+// fields take the library defaults (Table 1 machine, 256K L2, default
+// scale), mirroring cmd/ctrsim's flags.
+type SimRequest struct {
+	// Bench is the workload kernel to run (required; see /v1/benchmarks).
+	Bench string `json:"bench"`
+	// Scheme is the counter-availability scheme spec, in ParseScheme
+	// syntax ("baseline", "pred-context", "seqcache:128K", …). Required.
+	Scheme string `json:"scheme"`
+	// L2 and Footprint are sizes with optional K/M suffixes.
+	L2        string `json:"l2,omitempty"`
+	Footprint string `json:"footprint,omitempty"`
+	// Instructions is the dynamic instruction budget (0 = default scale).
+	Instructions uint64 `json:"instructions,omitempty"`
+	// Mode is "performance" (default) or "hitrate".
+	Mode string `json:"mode,omitempty"`
+	// Seed drives workload layout, key material and predictor roots
+	// (0 = the library default, seed 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// FlushInterval is the dirty-flush interval in cycles (0 = library
+	// default).
+	FlushInterval uint64 `json:"flush_interval,omitempty"`
+	// Integrity attaches the hash-tree authentication layer.
+	Integrity bool `json:"integrity,omitempty"`
+	// Faults is an attack plan in ParseFaultPlan syntax; arming faults
+	// implies Integrity, as with ctrsim's -faults flag.
+	Faults string `json:"faults,omitempty"`
+	// Recovery is "halt" (default) or "quarantine".
+	Recovery string `json:"recovery,omitempty"`
+	// RetryBudget bounds quarantine re-fetches (0 = default).
+	RetryBudget int `json:"retry_budget,omitempty"`
+	// CheckInterval paces cancellation checkpoints and progress
+	// heartbeats (instructions; 0 = default 10k). Never affects results.
+	CheckInterval uint64 `json:"check_interval,omitempty"`
+	// Timeout bounds the job (Go duration string, e.g. "30s"); empty
+	// uses the server's default.
+	Timeout string `json:"timeout,omitempty"`
+	// NoCache skips the result cache on both read and write.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// buildSim validates the request and assembles the run configuration.
+func (r SimRequest) buildSim() (string, sim.Config, error) {
+	var zero sim.Config
+	if r.Bench == "" {
+		return "", zero, fmt.Errorf("missing required field %q", "bench")
+	}
+	if _, ok := workload.Lookup(r.Bench); !ok {
+		return "", zero, fmt.Errorf("unknown benchmark %q (see /v1/benchmarks)", r.Bench)
+	}
+	if r.Scheme == "" {
+		return "", zero, fmt.Errorf("missing required field %q", "scheme")
+	}
+	sch, err := sim.ParseScheme(r.Scheme)
+	if err != nil {
+		return "", zero, err
+	}
+	cfg := sim.DefaultConfig(sch)
+	if r.L2 != "" {
+		n, err := sim.ParseSize(r.L2)
+		if err != nil {
+			return "", zero, fmt.Errorf("l2: %w", err)
+		}
+		cfg = cfg.WithL2(n)
+	}
+	if r.Footprint != "" {
+		n, err := sim.ParseSize(r.Footprint)
+		if err != nil {
+			return "", zero, fmt.Errorf("footprint: %w", err)
+		}
+		cfg = cfg.WithFootprint(n)
+	}
+	if r.Instructions != 0 {
+		cfg = cfg.WithInstrBudget(r.Instructions)
+	}
+	switch r.Mode {
+	case "", "performance":
+	case "hitrate":
+		cfg = cfg.WithMode(sim.HitRate)
+	default:
+		return "", zero, fmt.Errorf("unknown mode %q (want performance or hitrate)", r.Mode)
+	}
+	if r.Seed != 0 {
+		cfg = cfg.WithSeed(r.Seed)
+	}
+	if r.FlushInterval != 0 {
+		cfg.Mem.FlushInterval = r.FlushInterval
+	}
+	if r.Integrity || r.Faults != "" {
+		cfg = cfg.WithIntegrity()
+	}
+	if r.Faults != "" {
+		plan, err := faults.ParsePlan(r.Faults)
+		if err != nil {
+			return "", zero, err
+		}
+		cfg = cfg.WithFaults(&plan)
+	}
+	if r.Recovery != "" {
+		policy, err := secmem.ParseRecovery(r.Recovery)
+		if err != nil {
+			return "", zero, err
+		}
+		cfg = cfg.WithRecovery(policy)
+	}
+	cfg.RetryBudget = r.RetryBudget
+	cfg.CheckInterval = r.CheckInterval
+	return r.Bench, cfg, nil
+}
+
+// ExperimentRequest is the JSON body of POST /v1/experiments: one figure
+// or table regeneration over a benchmark × scheme grid.
+type ExperimentRequest struct {
+	// ID names the figure/table (required; see /v1/experiments).
+	ID string `json:"id"`
+	// Benchmarks restricts the grid's benchmark set (default: all 14).
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Instructions and Footprint override the per-simulation scale.
+	Instructions uint64 `json:"instructions,omitempty"`
+	Footprint    string `json:"footprint,omitempty"`
+	// Seed drives all randomness (0 = default).
+	Seed uint64 `json:"seed,omitempty"`
+	// Workers caps concurrent simulations inside this job (default 1;
+	// capped at the server's worker count). Results are byte-identical
+	// for any value.
+	Workers int `json:"workers,omitempty"`
+	// SimTimeout bounds each grid cell (Go duration string).
+	SimTimeout string `json:"sim_timeout,omitempty"`
+	// Timeout bounds the whole job.
+	Timeout string `json:"timeout,omitempty"`
+	// NoCache skips the result cache on both read and write.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// buildExperiment validates the request and assembles the sweep options.
+func (r ExperimentRequest) buildExperiment(maxWorkers int) (experiments.Options, error) {
+	var zero experiments.Options
+	if r.ID == "" {
+		return zero, fmt.Errorf("missing required field %q", "id")
+	}
+	known := false
+	for _, id := range experiments.IDs() {
+		if id == r.ID {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return zero, fmt.Errorf("%w: %q", experiments.ErrUnknownExperiment, r.ID)
+	}
+	for _, b := range r.Benchmarks {
+		if _, ok := workload.Lookup(b); !ok {
+			return zero, fmt.Errorf("unknown benchmark %q (see /v1/benchmarks)", b)
+		}
+	}
+	opt := experiments.DefaultOptions()
+	opt.Benchmarks = r.Benchmarks
+	if len(opt.Benchmarks) == 0 {
+		// Resolve the default set eagerly so an empty list and the full
+		// explicit list hash to the same cache key.
+		opt.Benchmarks = workload.Names()
+	}
+	if r.Instructions != 0 {
+		opt.Scale.Instructions = r.Instructions
+	}
+	if r.Footprint != "" {
+		n, err := sim.ParseSize(r.Footprint)
+		if err != nil {
+			return zero, fmt.Errorf("footprint: %w", err)
+		}
+		opt.Scale.Footprint = n
+	}
+	if r.Seed != 0 {
+		opt.Seed = r.Seed
+	}
+	// One experiment occupies one queue slot; its internal parallelism
+	// defaults to a single worker so a grid cannot monopolize the host
+	// unless the operator sized the server for it.
+	opt.Workers = 1
+	if r.Workers > 0 {
+		opt.Workers = min(r.Workers, maxWorkers)
+	}
+	if r.SimTimeout != "" {
+		d, err := time.ParseDuration(r.SimTimeout)
+		if err != nil {
+			return zero, fmt.Errorf("sim_timeout: %w", err)
+		}
+		opt.SimTimeout = d
+	}
+	return opt, nil
+}
+
+// key returns the content address of a simulation request: the
+// fingerprint of the fully-resolved run configuration, so requests that
+// spell the same run differently (default vs explicit fields) share one
+// cache entry.
+func (r SimRequest) key() (string, error) {
+	bench, cfg, err := r.buildSim()
+	if err != nil {
+		return "", err
+	}
+	return sim.Fingerprint(bench, cfg), nil
+}
+
+// key returns the content address of an experiment request: a hash over
+// the result-determining fields only. Workers and timeouts are excluded
+// — the sweep output is byte-identical for any worker count, and a
+// deadline changes when a result exists, not what it is.
+func (r ExperimentRequest) key(maxWorkers int) (string, error) {
+	opt, err := r.buildExperiment(maxWorkers)
+	if err != nil {
+		return "", err
+	}
+	payload := struct {
+		Kind         string
+		ID           string
+		Benchmarks   []string
+		Instructions uint64
+		Footprint    int
+		Seed         uint64
+	}{"experiment", r.ID, opt.Benchmarks, opt.Scale.Instructions, opt.Scale.Footprint, opt.Seed}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(b)), nil
+}
+
+// parseTimeout resolves a request's job deadline against the server
+// default; empty means the default, "0" or "0s" disables it.
+func parseTimeout(s string, def time.Duration) (time.Duration, error) {
+	if s == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("timeout: %w", err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("timeout: negative duration %s", d)
+	}
+	return d, nil
+}

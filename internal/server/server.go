@@ -1,0 +1,670 @@
+// Package server exposes the simulator as a long-lived HTTP/JSON job
+// service — simulation-as-a-service over the same library surface the
+// CLIs drive.
+//
+// Requests land on a bounded runpool-backed queue (backpressure is a
+// 429 with Retry-After, never an unbounded goroutine pile), run under
+// per-job context deadlines that cancel at the simulator's existing
+// instruction checkpoints, and can stream progress as NDJSON — one JSON
+// object per line: queue admission, checkpoint heartbeats, one
+// runpool.Update per finished simulation, then the final
+// stats.Snapshot. Completed results are stored in a content-addressed
+// cache (canonical-config hash → snapshot JSON), so a repeated request
+// is served without re-simulating; because a run is fully determined by
+// its configuration, a cached body is byte-identical to a fresh one.
+//
+//	POST /v1/sim            run one simulation (stream with ?stream=1
+//	                        or Accept: application/x-ndjson)
+//	POST /v1/experiments    regenerate a figure/table over a grid
+//	GET  /v1/benchmarks     list workload kernels
+//	GET  /v1/experiments    list experiment ids
+//	GET  /v1/results/{key}  fetch a cached result by content address
+//	GET  /healthz           liveness/readiness (503 while draining)
+//	GET  /metrics           server counters as a stats.Snapshot JSON
+//	GET  /debug/pprof/...   runtime profiles (Config.EnablePprof)
+//
+// Shutdown is graceful: admission stops immediately, running jobs get
+// Config.DrainTimeout to finish, then their contexts are cancelled and
+// the simulator aborts within one Config.CheckInterval of instructions.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ctrpred/internal/experiments"
+	"ctrpred/internal/runpool"
+	"ctrpred/internal/secmem"
+	"ctrpred/internal/sim"
+	"ctrpred/internal/stats"
+	"ctrpred/internal/workload"
+)
+
+// Config sizes the service. The zero value is usable: one worker per
+// CPU, a backlog twice that, a 256-entry result cache, no default job
+// deadline, a 5 s drain window, pprof off.
+type Config struct {
+	// Workers caps concurrently running jobs (<= 0: one per CPU).
+	Workers int
+	// Backlog caps jobs queued behind the running ones (< 0: none;
+	// 0: 2×Workers). A full backlog rejects with 429.
+	Backlog int
+	// CacheEntries bounds the result cache (0: 256; < 0: disabled).
+	CacheEntries int
+	// DefaultTimeout bounds jobs whose request carries no timeout
+	// (0: unbounded).
+	DefaultTimeout time.Duration
+	// DrainTimeout is how long Shutdown lets running jobs finish before
+	// cancelling their contexts (0: 5 s).
+	DrainTimeout time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+const (
+	defaultCacheEntries = 256
+	defaultDrain        = 5 * time.Second
+	// heartbeatEvery throttles checkpoint heartbeats on the stream.
+	heartbeatEvery = 200 * time.Millisecond
+)
+
+// Server is the job service. Create with New, mount as an http.Handler,
+// stop with Shutdown.
+type Server struct {
+	cfg   Config
+	pool  *runpool.Pool
+	cache *resultCache
+	mux   *http.ServeMux
+	start time.Time
+
+	// jobsCtx parents every job's context; hardStop cancels it when the
+	// drain window expires, aborting in-flight simulations at their next
+	// instruction checkpoint.
+	jobsCtx  context.Context
+	hardStop context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+
+	accepted  atomic.Uint64
+	rejected  atomic.Uint64
+	finished  atomic.Uint64
+	failed    atomic.Uint64
+	simsRun   atomic.Uint64
+	expsRun   atomic.Uint64
+	streamed  atomic.Uint64
+	cacheSrvd atomic.Uint64
+}
+
+// New assembles a Server from cfg (see Config for zero-value defaults).
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runpool.DefaultWorkers()
+	}
+	if cfg.Backlog == 0 {
+		cfg.Backlog = 2 * cfg.Workers
+	}
+	if cfg.Backlog < 0 {
+		cfg.Backlog = 0
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = defaultCacheEntries
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = defaultDrain
+	}
+	jobsCtx, hardStop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		pool:     runpool.NewPool(cfg.Workers, cfg.Backlog),
+		cache:    newResultCache(cfg.CacheEntries),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		jobsCtx:  jobsCtx,
+		hardStop: hardStop,
+	}
+	s.mux.HandleFunc("POST /v1/sim", s.handleSim)
+	s.mux.HandleFunc("POST /v1/experiments", s.handleExperiment)
+	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
+	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown stops admission, waits up to Config.DrainTimeout for running
+// jobs to finish on their own, then cancels every job context — the
+// simulator aborts within one CheckInterval — and waits for the drain to
+// complete or ctx to expire. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	drainCtx, cancel := context.WithTimeout(ctx, s.cfg.DrainTimeout)
+	defer cancel()
+	if err := s.pool.Shutdown(drainCtx); err == nil {
+		s.hardStop()
+		return nil
+	}
+	// Grace expired: cut the jobs loose and wait for the checkpoints to
+	// observe it.
+	s.hardStop()
+	return s.pool.Shutdown(ctx)
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// UpdateWire is runpool.Update in wire form: the error flattened to a
+// string so it survives JSON, the duration in milliseconds.
+type UpdateWire struct {
+	Index     int     `json:"index"`
+	Label     string  `json:"label"`
+	Error     string  `json:"error,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Done      int     `json:"done"`
+	Total     int     `json:"total"`
+}
+
+func wireUpdate(u runpool.Update) *UpdateWire {
+	w := &UpdateWire{
+		Index: u.Index, Label: u.Label,
+		ElapsedMS: float64(u.Elapsed) / float64(time.Millisecond),
+		Done:      u.Done, Total: u.Total,
+	}
+	if u.Err != nil {
+		w.Error = u.Err.Error()
+	}
+	return w
+}
+
+// Event is one NDJSON stream line. Event is "accepted", "progress",
+// "update", "result" or "error"; "result" and "error" are terminal.
+type Event struct {
+	Event string `json:"event"`
+	// Key is the result's content address (accepted/result).
+	Key string `json:"key,omitempty"`
+	// Cached marks a result served from the cache without simulating.
+	Cached bool `json:"cached,omitempty"`
+	// Queue is the backlog depth observed at admission.
+	Queue int `json:"queue,omitempty"`
+	// Instructions is the committed-instruction count of a heartbeat.
+	Instructions uint64 `json:"instructions,omitempty"`
+	// Update is one finished simulation of the job's grid.
+	Update *UpdateWire `json:"update,omitempty"`
+	// Snapshot is the final metrics tree (also present, when available,
+	// on a security-halt error so the partial run is not lost).
+	Snapshot json.RawMessage `json:"snapshot,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	// Code classifies an error: bad_request, security, self_check,
+	// timeout, canceled, panic, internal.
+	Code string `json:"code,omitempty"`
+
+	status int // HTTP status a non-streaming response should carry
+}
+
+// classify maps a job error to a stream code and HTTP status.
+func classify(err error) (code string, status int) {
+	var serr *secmem.SecurityError
+	var perr *runpool.PanicError
+	switch {
+	case errors.As(err, &serr):
+		if serr.Kind == secmem.KindSelfCheck {
+			return "self_check", http.StatusInternalServerError
+		}
+		// Tampering detected under the halt policy: the simulation did
+		// its job; the input memory was hostile.
+		return "security", http.StatusUnprocessableEntity
+	case errors.As(err, &perr):
+		return "panic", http.StatusInternalServerError
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout", http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return "canceled", http.StatusServiceUnavailable
+	default:
+		return "internal", http.StatusInternalServerError
+	}
+}
+
+func errEvent(err error) Event {
+	code, status := classify(err)
+	return Event{Event: "error", Error: err.Error(), Code: code, status: status}
+}
+
+// handleSim serves POST /v1/sim.
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	var req SimRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	bench, cfg, err := req.buildSim()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	timeout, err := parseTimeout(req.Timeout, s.cfg.DefaultTimeout)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := sim.Fingerprint(bench, cfg)
+	label := fmt.Sprintf("sim %s/%s %s", bench, cfg.Scheme.Name, key[:12])
+	s.dispatch(w, r, dispatchSpec{
+		key: key, label: label, noCache: req.NoCache, timeout: timeout,
+		run: func(ctx context.Context, emit func(Event)) {
+			s.execSim(ctx, bench, cfg, key, req.NoCache, emit)
+		},
+	})
+}
+
+// handleExperiment serves POST /v1/experiments.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	var req ExperimentRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	opt, err := req.buildExperiment(s.cfg.Workers)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	timeout, err := parseTimeout(req.Timeout, s.cfg.DefaultTimeout)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := req.key(s.cfg.Workers)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	label := fmt.Sprintf("exp %s %s", req.ID, key[:12])
+	s.dispatch(w, r, dispatchSpec{
+		key: key, label: label, noCache: req.NoCache, timeout: timeout,
+		run: func(ctx context.Context, emit func(Event)) {
+			s.execExperiment(ctx, req.ID, opt, key, req.NoCache, emit)
+		},
+	})
+}
+
+type dispatchSpec struct {
+	key     string
+	label   string
+	noCache bool
+	timeout time.Duration
+	run     func(ctx context.Context, emit func(Event))
+}
+
+// dispatch implements the shared request lifecycle: cache probe,
+// admission, execution, and response shaping for both the streaming and
+// the plain mode.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, spec dispatchSpec) {
+	stream := wantsStream(r)
+
+	if !spec.noCache {
+		if body, ok := s.cache.get(spec.key); ok {
+			s.cacheSrvd.Add(1)
+			if stream {
+				sw := newStreamWriter(w)
+				sw.write(Event{Event: "accepted", Key: spec.key, Cached: true})
+				sw.write(Event{Event: "result", Key: spec.key, Cached: true, Snapshot: body})
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Cache", "hit")
+			w.Header().Set("X-Result-Key", spec.key)
+			w.Write(body)
+			return
+		}
+	}
+
+	if s.isDraining() {
+		httpError(w, http.StatusServiceUnavailable, errors.New("server draining"))
+		return
+	}
+
+	// The job's context: cancelled by client disconnect, by the request
+	// deadline, or — after the drain window — by server shutdown.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	unhook := context.AfterFunc(s.jobsCtx, cancel)
+	defer unhook()
+	if spec.timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, spec.timeout)
+		defer tcancel()
+	}
+
+	events := make(chan Event, 128)
+	emit := func(ev Event) { events <- ev }
+	// Heartbeats and updates must never wedge a worker behind a stalled
+	// consumer; terminal events use the blocking emit (the handler always
+	// drains to close).
+	emitOpt := func(ev Event) {
+		select {
+		case events <- ev:
+		default:
+		}
+	}
+	job := func() {
+		defer close(events)
+		spec.run(ctx, func(ev Event) {
+			if ev.Event == "result" || ev.Event == "error" {
+				emit(ev)
+			} else {
+				emitOpt(ev)
+			}
+		})
+	}
+
+	queueDepth := s.pool.Stats().Pending
+	if err := s.pool.TrySubmit(spec.label, job); err != nil {
+		s.rejected.Add(1)
+		switch {
+		case errors.Is(err, runpool.ErrPoolSaturated):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, errors.New("job queue full; retry later"))
+		default:
+			httpError(w, http.StatusServiceUnavailable, err)
+		}
+		return
+	}
+	s.accepted.Add(1)
+
+	if stream {
+		s.streamed.Add(1)
+		sw := newStreamWriter(w)
+		sw.write(Event{Event: "accepted", Key: spec.key, Queue: queueDepth})
+		for ev := range events {
+			if ev.Event == "error" {
+				s.failed.Add(1)
+			} else if ev.Event == "result" {
+				s.finished.Add(1)
+			}
+			sw.write(ev)
+		}
+		return
+	}
+
+	var final Event
+	for ev := range events {
+		if ev.Event == "result" || ev.Event == "error" {
+			final = ev
+		}
+	}
+	switch final.Event {
+	case "result":
+		s.finished.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "miss")
+		w.Header().Set("X-Result-Key", spec.key)
+		w.Write(final.Snapshot)
+	case "error":
+		s.failed.Add(1)
+		writeJSON(w, final.status, final)
+	default:
+		httpError(w, http.StatusInternalServerError, errors.New("job produced no result"))
+	}
+}
+
+// execSim runs one simulation and emits its stream events.
+func (s *Server) execSim(ctx context.Context, bench string, cfg sim.Config, key string, noCache bool, emit func(Event)) {
+	if err := ctx.Err(); err != nil {
+		emit(errEvent(err))
+		return
+	}
+	m, err := sim.NewMachine(bench, cfg)
+	if err != nil {
+		ev := errEvent(err)
+		ev.Code, ev.status = "bad_request", http.StatusBadRequest
+		emit(ev)
+		return
+	}
+	var lastBeat time.Time
+	m.OnProgress(func(committed uint64) {
+		if time.Since(lastBeat) >= heartbeatEvery {
+			lastBeat = time.Now()
+			emit(Event{Event: "progress", Instructions: committed})
+		}
+	})
+	start := time.Now()
+	res, runErr := m.RunContext(ctx)
+	s.simsRun.Add(1)
+	up := runpool.Update{Label: bench + "/" + cfg.Scheme.Name, Err: runErr, Elapsed: time.Since(start), Done: 1, Total: 1}
+	emit(Event{Event: "update", Update: wireUpdate(up)})
+	if runErr != nil {
+		ev := errEvent(runErr)
+		var serr *secmem.SecurityError
+		if errors.As(runErr, &serr) {
+			// The partial result up to the halt is still evidence; ship it
+			// with the error.
+			if body, jerr := res.Snapshot().JSON(); jerr == nil {
+				ev.Snapshot = body
+			}
+		}
+		emit(ev)
+		return
+	}
+	body, err := res.Snapshot().JSON()
+	if err != nil {
+		emit(errEvent(err))
+		return
+	}
+	if !noCache {
+		s.cache.put(key, body)
+	}
+	emit(Event{Event: "result", Key: key, Snapshot: body})
+}
+
+// execExperiment regenerates one figure/table and emits its stream
+// events, forwarding every finished grid cell as an update.
+func (s *Server) execExperiment(ctx context.Context, id string, opt experiments.Options, key string, noCache bool, emit func(Event)) {
+	if err := ctx.Err(); err != nil {
+		emit(errEvent(err))
+		return
+	}
+	opt.Progress = func(u runpool.Update) {
+		emit(Event{Event: "update", Update: wireUpdate(u)})
+		if u.Err == nil {
+			s.simsRun.Add(1)
+		}
+	}
+	res, err := experiments.ByID(ctx, id, opt)
+	s.expsRun.Add(1)
+	if err != nil {
+		emit(errEvent(err))
+		return
+	}
+	body, jerr := res.Snapshot().JSON()
+	if jerr != nil {
+		emit(errEvent(jerr))
+		return
+	}
+	if !noCache {
+		s.cache.put(key, body)
+	}
+	emit(Event{Event: "result", Key: key, Snapshot: body})
+}
+
+// handleResult serves GET /v1/results/{key}: the content-addressed
+// fetch path of the cache.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	body, ok := s.cache.get(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no cached result for %q", key))
+		return
+	}
+	s.cacheSrvd.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", "hit")
+	w.Write(body)
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	type bench struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+		MemoryBound bool   `json:"memory_bound"`
+		WriteHeavy  bool   `json:"write_heavy"`
+	}
+	var out []bench
+	for _, n := range workload.Names() {
+		sp, _ := workload.Lookup(n)
+		out = append(out, bench{Name: sp.Name, Description: sp.Description,
+			MemoryBound: sp.MemoryBound, WriteHeavy: sp.WriteHeavy})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, experiments.IDs())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ps := s.pool.Stats()
+	status := "ok"
+	code := http.StatusOK
+	if s.isDraining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":  status,
+		"workers": ps.Workers,
+		"running": ps.Running,
+		"pending": ps.Pending,
+	})
+}
+
+// Snapshot exports the server's counters as a metrics tree (the
+// /metrics payload): job admission and outcomes at the root, the pool
+// and cache as children.
+func (s *Server) Snapshot() *stats.Snapshot {
+	n := stats.NewSnapshot("server")
+	n.Counter("accepted", s.accepted.Load())
+	n.Counter("rejected", s.rejected.Load())
+	n.Counter("finished", s.finished.Load())
+	n.Counter("failed", s.failed.Load())
+	n.Counter("sims_run", s.simsRun.Load())
+	n.Counter("experiments_run", s.expsRun.Load())
+	n.Counter("streamed", s.streamed.Load())
+	n.Counter("cache_served", s.cacheSrvd.Load())
+	n.Value("uptime_seconds", time.Since(s.start).Seconds())
+
+	ps := s.pool.Stats()
+	pn := n.Child("pool")
+	pn.Counter("submitted", ps.Submitted)
+	pn.Counter("rejected", ps.Rejected)
+	pn.Counter("completed", ps.Completed)
+	pn.Counter("panics", ps.Panics)
+	pn.Counter("workers", uint64(ps.Workers))
+	pn.Counter("backlog", uint64(ps.Backlog))
+	pn.Counter("pending", uint64(ps.Pending))
+	pn.Counter("running", uint64(ps.Running))
+
+	cs := s.cache.stats()
+	cn := n.Child("cache")
+	cn.Counter("entries", uint64(cs.entries))
+	cn.Counter("capacity", uint64(max(cs.capacity, 0)))
+	cn.Counter("hits", cs.hits)
+	cn.Counter("misses", cs.misses)
+	cn.Counter("evictions", cs.evictions)
+	return n
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	body, err := s.Snapshot().JSON()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// --- plumbing ---
+
+func wantsStream(r *http.Request) bool {
+	if v := r.URL.Query().Get("stream"); v == "1" || v == "true" {
+		return true
+	}
+	for _, accept := range r.Header.Values("Accept") {
+		if accept == "application/x-ndjson" || accept == "application/ndjson" {
+			return true
+		}
+	}
+	return false
+}
+
+// streamWriter emits NDJSON lines, flushing after each so progress
+// reaches the client as it happens. Writes to a stalled client get a
+// bounded deadline instead of wedging the handler.
+type streamWriter struct {
+	w      http.ResponseWriter
+	rc     *http.ResponseController
+	enc    *json.Encoder
+	broken bool
+}
+
+func newStreamWriter(w http.ResponseWriter) *streamWriter {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	return &streamWriter{w: w, rc: http.NewResponseController(w), enc: json.NewEncoder(w)}
+}
+
+func (sw *streamWriter) write(ev Event) {
+	if sw.broken {
+		return
+	}
+	sw.rc.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	if err := sw.enc.Encode(ev); err != nil {
+		sw.broken = true
+		return
+	}
+	sw.rc.Flush()
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,31 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ctrpred/internal/sha256"
+)
+
+// Fingerprint returns a stable content hash identifying a run: the
+// benchmark plus every configuration field that can influence its
+// statistics. Runs with equal fingerprints produce byte-identical
+// Result.Snapshot output, so the hash is usable as a result-cache key.
+//
+// Fields that cannot affect results are normalized out before hashing:
+// CheckInterval only paces cancellation polling, so two requests that
+// differ in nothing else collapse onto one cache entry.
+func Fingerprint(bench string, cfg Config) string {
+	cfg.CheckInterval = 0
+	payload := struct {
+		Bench  string
+		Config Config
+	}{bench, cfg}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		// Config is plain data end to end (no funcs, chans or cycles);
+		// a marshal failure means a field type regressed.
+		panic(fmt.Sprintf("sim: config not fingerprintable: %v", err))
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(b))
+}

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"testing"
+
+	"ctrpred/internal/faults"
+	"ctrpred/internal/predictor"
+)
+
+func TestFingerprintStable(t *testing.T) {
+	cfg := DefaultConfig(SchemePred(predictor.SchemeContext))
+	a := Fingerprint("mcf", cfg)
+	b := Fingerprint("mcf", cfg)
+	if a != b {
+		t.Fatalf("same run hashed differently: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Fatalf("fingerprint %q is not a sha256 hex digest", a)
+	}
+}
+
+func TestFingerprintSeparatesRuns(t *testing.T) {
+	base := DefaultConfig(SchemePred(predictor.SchemeRegular))
+	fp := Fingerprint("mcf", base)
+	distinct := map[string]string{
+		"benchmark": Fingerprint("gzip", base),
+		"scheme":    Fingerprint("mcf", DefaultConfig(SchemeBaseline())),
+		"seed":      Fingerprint("mcf", base.WithSeed(7)),
+		"l2":        Fingerprint("mcf", base.WithL2(1<<20)),
+		"budget":    Fingerprint("mcf", base.WithInstrBudget(12345)),
+		"footprint": Fingerprint("mcf", base.WithFootprint(1<<20)),
+		"mode":      Fingerprint("mcf", base.WithMode(HitRate)),
+		"integrity": Fingerprint("mcf", base.WithIntegrity()),
+		"recovery":  Fingerprint("mcf", base.WithRecovery(1)),
+		"faults": Fingerprint("mcf", base.WithFaults(&faults.Plan{
+			Attacks: []faults.Attack{{Kind: faults.BitFlip, Trigger: faults.Trigger{Fetch: 5}}},
+		})),
+	}
+	seen := map[string]string{fp: "base"}
+	for name, h := range distinct {
+		if prev, dup := seen[h]; dup {
+			t.Errorf("%s collided with %s: %s", name, prev, h)
+		}
+		seen[h] = name
+	}
+}
+
+func TestFingerprintIgnoresCheckInterval(t *testing.T) {
+	cfg := DefaultConfig(SchemeOracle())
+	a := Fingerprint("mcf", cfg)
+	cfg.CheckInterval = 500
+	if b := Fingerprint("mcf", cfg); a != b {
+		t.Fatal("CheckInterval changed the fingerprint; it cannot affect results")
+	}
+}

@@ -260,7 +260,20 @@ type Machine struct {
 	DRAM      *dram.DRAM
 	// Faults is the armed adversary, or nil for clean memory.
 	Faults *faults.Injector
+
+	// progress, when set, is invoked at every RunContext checkpoint with
+	// the committed-instruction count. It rides the existing
+	// CheckInterval polling, so it has zero cost when unset and no
+	// effect on timing or statistics either way.
+	progress func(committed uint64)
 }
+
+// OnProgress registers fn to be called at every RunContext checkpoint
+// (every Config.CheckInterval committed instructions) with the number of
+// instructions committed so far. Long-running services use it to stream
+// liveness without touching the simulation's behavior. Pass nil to
+// unregister.
+func (m *Machine) OnProgress(fn func(committed uint64)) { m.progress = fn }
 
 // NewMachine builds the machine and loads the named workload.
 func NewMachine(bench string, cfg Config) (*Machine, error) {
@@ -369,6 +382,9 @@ func (m *Machine) RunContext(ctx context.Context) (Result, error) {
 		ctxErr = ctx.Err
 	}
 	m.Core.SetCheckpoint(interval, func() error {
+		if m.progress != nil {
+			m.progress(m.Core.Committed())
+		}
 		if err := m.Ctrl.SecurityErr(); err != nil {
 			return err
 		}
