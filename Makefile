@@ -6,11 +6,15 @@
 #
 # `make bench` runs the benchmark suite once and appends a labeled entry
 # to the tracked ledger BENCH_sim.json (label via BENCH_LABEL=...), so
-# perf changes land with their before/after numbers. See EXPERIMENTS.md
-# for the profiling workflow built on top of it.
+# perf changes land with their before/after numbers. benchjson refuses a
+# label the ledger already holds (re-record deliberately with
+# BENCH_FLAGS=-force) and prints non-blocking warnings for metrics that
+# regressed >10% against the previous entry. See EXPERIMENTS.md for the
+# profiling workflow built on top of it.
 
 GO ?= go
 BENCH_LABEL ?= local
+BENCH_FLAGS ?=
 
 .PHONY: build vet test race fuzz smoke verify bench
 
@@ -49,4 +53,4 @@ verify: build vet test race fuzz smoke
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . \
-		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -o BENCH_sim.json
+		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' $(BENCH_FLAGS) -o BENCH_sim.json

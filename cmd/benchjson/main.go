@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -52,6 +53,7 @@ func main() {
 		label = flag.String("label", "local", "label for this run entry (e.g. before, after, ci)")
 		out   = flag.String("o", "BENCH_sim.json", "ledger file to append to (created if absent)")
 		quiet = flag.Bool("q", false, "do not echo the input stream to stderr")
+		force = flag.Bool("force", false, "record even if the ledger already has an entry with this label")
 	)
 	flag.Parse()
 
@@ -94,6 +96,20 @@ func main() {
 	} else if !os.IsNotExist(err) {
 		fatal(err)
 	}
+	if err := checkLabel(&ledger, entry.Label, *force); err != nil {
+		fatal(fmt.Errorf("%w in %s; pick a new label or pass -force to append anyway", err, *out))
+	}
+	// Non-blocking regression check: compare the fresh entry against the
+	// ledger's previous last run and warn about >10% movements in the
+	// wrong direction. Advisory only — benchmark hosts are noisy, so the
+	// exit status never depends on it; authoritative comparisons remain
+	// deliberate before/after entries (see EXPERIMENTS.md).
+	if len(ledger.Runs) > 0 {
+		prev := ledger.Runs[len(ledger.Runs)-1]
+		for _, w := range compareRuns(prev, entry) {
+			fmt.Fprintln(os.Stderr, "benchjson: WARNING:", w)
+		}
+	}
 	ledger.Runs = append(ledger.Runs, entry)
 
 	data, err := json.MarshalIndent(&ledger, "", "  ")
@@ -105,6 +121,66 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: recorded %d benchmarks as %q in %s\n",
 		len(entry.Benchmarks), *label, *out)
+}
+
+// checkLabel refuses to append a run whose label the ledger already
+// holds: labels address entries in before/after comparisons, and a
+// silent duplicate would make "the <label> run" ambiguous. force
+// overrides for deliberate re-recording.
+func checkLabel(ledger *Ledger, label string, force bool) error {
+	if force {
+		return nil
+	}
+	for _, run := range ledger.Runs {
+		if run.Label == label {
+			return fmt.Errorf("ledger already has a run labeled %q (recorded %s)", label, run.Date)
+		}
+	}
+	return nil
+}
+
+// regressionThreshold is the relative movement past which compareRuns
+// flags a metric: 10%, chosen to sit above typical same-host run-to-run
+// noise while still catching real slowdowns.
+const regressionThreshold = 0.10
+
+// compareRuns diffs cur against prev benchmark-by-benchmark and
+// returns one warning line per metric that moved more than
+// regressionThreshold in the wrong direction. Throughput units
+// (anything ending in "/s") regress downward; cost units (ns/op, B/op,
+// allocs/op, …) regress upward. Benchmarks present in only one run are
+// skipped — there is nothing to compare.
+func compareRuns(prev, cur RunEntry) []string {
+	prevBy := make(map[string]Benchmark, len(prev.Benchmarks))
+	for _, b := range prev.Benchmarks {
+		prevBy[b.Name] = b
+	}
+	var warnings []string
+	for _, b := range cur.Benchmarks {
+		pb, ok := prevBy[b.Name]
+		if !ok {
+			continue
+		}
+		for unit, v := range b.Metrics {
+			pv, ok := pb.Metrics[unit]
+			if !ok || pv == 0 {
+				continue
+			}
+			higherIsBetter := strings.HasSuffix(unit, "/s")
+			change := (v - pv) / pv
+			regressed := change > regressionThreshold
+			if higherIsBetter {
+				regressed = change < -regressionThreshold
+			}
+			if regressed {
+				warnings = append(warnings, fmt.Sprintf(
+					"%s %s regressed %+.1f%% vs %q (%s): %g -> %g",
+					b.Name, unit, 100*change, prev.Label, prev.Date, pv, v))
+			}
+		}
+	}
+	sort.Strings(warnings)
+	return warnings
 }
 
 // parseBenchLine parses one `go test -bench` result line:

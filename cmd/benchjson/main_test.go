@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	b, ok := parseBenchLine("BenchmarkSingleRunMcfContext-8 \t       5\t  15519015 ns/op\t   3221904 sim_instrs/s\t 4546041 B/op\t     533 allocs/op")
@@ -27,6 +30,70 @@ func TestParseBenchLineNoProcsSuffix(t *testing.T) {
 	b, ok := parseBenchLine("BenchmarkFigure4Timeline \t 3\t 123456 ns/op")
 	if !ok || b.Name != "Figure4Timeline" {
 		t.Fatalf("parse = %+v, %v", b, ok)
+	}
+}
+
+// TestCheckLabelRejectsDuplicates pins the duplicate-label guard: an
+// existing label is refused, a fresh one is fine, and -force overrides.
+func TestCheckLabelRejectsDuplicates(t *testing.T) {
+	ledger := &Ledger{Runs: []RunEntry{
+		{Label: "before", Date: "2026-01-01T00:00:00Z"},
+		{Label: "after", Date: "2026-01-02T00:00:00Z"},
+	}}
+	if err := checkLabel(ledger, "after", false); err == nil {
+		t.Error("duplicate label accepted without -force")
+	}
+	if err := checkLabel(ledger, "after", true); err != nil {
+		t.Errorf("-force still rejected duplicate: %v", err)
+	}
+	if err := checkLabel(ledger, "after-v2", false); err != nil {
+		t.Errorf("fresh label rejected: %v", err)
+	}
+	if err := checkLabel(&Ledger{}, "first", false); err != nil {
+		t.Errorf("empty ledger rejected: %v", err)
+	}
+}
+
+// TestCompareRuns pins the regression-warning logic: cost metrics warn
+// when they rise >10%, throughput metrics when they fall >10%, moves
+// inside the threshold and improvements stay quiet, and benchmarks or
+// units without a counterpart are skipped.
+func TestCompareRuns(t *testing.T) {
+	prev := RunEntry{Label: "before", Date: "2026-01-01T00:00:00Z", Benchmarks: []Benchmark{
+		{Name: "Hot", Metrics: map[string]float64{"ns/op": 100, "sim_instrs/s": 10_000_000, "B/op": 1000}},
+		{Name: "Gone", Metrics: map[string]float64{"ns/op": 50}},
+	}}
+	cur := RunEntry{Label: "after", Benchmarks: []Benchmark{
+		{Name: "Hot", Metrics: map[string]float64{
+			"ns/op":        125,       // +25%: cost regression, warn
+			"sim_instrs/s": 8_000_000, // -20%: throughput regression, warn
+			"B/op":         1050,      // +5%: inside threshold, quiet
+			"allocs/op":    999,       // no counterpart in prev, skip
+		}},
+		{Name: "New", Metrics: map[string]float64{"ns/op": 1}}, // no counterpart, skip
+	}}
+	warnings := compareRuns(prev, cur)
+	if len(warnings) != 2 {
+		t.Fatalf("got %d warnings %v, want 2", len(warnings), warnings)
+	}
+	for _, want := range []string{"ns/op regressed +25.0%", "sim_instrs/s regressed -20.0%"} {
+		found := false
+		for _, w := range warnings {
+			if strings.Contains(w, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no warning containing %q in %v", want, warnings)
+		}
+	}
+
+	// Improvements never warn, in either direction.
+	better := RunEntry{Label: "faster", Benchmarks: []Benchmark{
+		{Name: "Hot", Metrics: map[string]float64{"ns/op": 50, "sim_instrs/s": 20_000_000}},
+	}}
+	if w := compareRuns(prev, better); len(w) != 0 {
+		t.Errorf("improvement produced warnings: %v", w)
 	}
 }
 

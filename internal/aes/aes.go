@@ -368,6 +368,88 @@ func (c *Cipher) EncryptWords(s0, s1, s2, s3 uint32) (uint32, uint32, uint32, ui
 	return t0 ^ rk[k+0], t1 ^ rk[k+1], t2 ^ rk[k+2], t3 ^ rk[k+3]
 }
 
+// EncryptWords2 encrypts two independent blocks through one interleaved
+// round loop. AES rounds are a serial dependence chain — each T-table
+// lookup needs the previous round's words — so a single block leaves the
+// core's load ports idle between rounds. Interleaving two blocks gives
+// the scheduler a second independent chain to overlap, which is the
+// software analogue of the paper's pipelined crypto engine accepting a
+// new block per cycle. Counter-mode pads are the natural caller: every
+// 32-byte line wants exactly two block encryptions.
+func (c *Cipher) EncryptWords2(a0, a1, a2, a3, b0, b1, b2, b3 uint32) (uint32, uint32, uint32, uint32, uint32, uint32, uint32, uint32) {
+	rk := c.enc
+	a0 ^= rk[0]
+	a1 ^= rk[1]
+	a2 ^= rk[2]
+	a3 ^= rk[3]
+	b0 ^= rk[0]
+	b1 ^= rk[1]
+	b2 ^= rk[2]
+	b3 ^= rk[3]
+	k := 4
+	for r := 1; r < c.rounds; r++ {
+		k0, k1, k2, k3 := rk[k+0], rk[k+1], rk[k+2], rk[k+3]
+		u0 := te0[a0>>24] ^ te1[a1>>16&0xff] ^ te2[a2>>8&0xff] ^ te3[a3&0xff] ^ k0
+		u1 := te0[a1>>24] ^ te1[a2>>16&0xff] ^ te2[a3>>8&0xff] ^ te3[a0&0xff] ^ k1
+		u2 := te0[a2>>24] ^ te1[a3>>16&0xff] ^ te2[a0>>8&0xff] ^ te3[a1&0xff] ^ k2
+		u3 := te0[a3>>24] ^ te1[a0>>16&0xff] ^ te2[a1>>8&0xff] ^ te3[a2&0xff] ^ k3
+		v0 := te0[b0>>24] ^ te1[b1>>16&0xff] ^ te2[b2>>8&0xff] ^ te3[b3&0xff] ^ k0
+		v1 := te0[b1>>24] ^ te1[b2>>16&0xff] ^ te2[b3>>8&0xff] ^ te3[b0&0xff] ^ k1
+		v2 := te0[b2>>24] ^ te1[b3>>16&0xff] ^ te2[b0>>8&0xff] ^ te3[b1&0xff] ^ k2
+		v3 := te0[b3>>24] ^ te1[b0>>16&0xff] ^ te2[b1>>8&0xff] ^ te3[b2&0xff] ^ k3
+		a0, a1, a2, a3 = u0, u1, u2, u3
+		b0, b1, b2, b3 = v0, v1, v2, v3
+		k += 4
+	}
+	k0, k1, k2, k3 := rk[k+0], rk[k+1], rk[k+2], rk[k+3]
+	u0 := uint32(sbox[a0>>24])<<24 | uint32(sbox[a1>>16&0xff])<<16 | uint32(sbox[a2>>8&0xff])<<8 | uint32(sbox[a3&0xff])
+	u1 := uint32(sbox[a1>>24])<<24 | uint32(sbox[a2>>16&0xff])<<16 | uint32(sbox[a3>>8&0xff])<<8 | uint32(sbox[a0&0xff])
+	u2 := uint32(sbox[a2>>24])<<24 | uint32(sbox[a3>>16&0xff])<<16 | uint32(sbox[a0>>8&0xff])<<8 | uint32(sbox[a1&0xff])
+	u3 := uint32(sbox[a3>>24])<<24 | uint32(sbox[a0>>16&0xff])<<16 | uint32(sbox[a1>>8&0xff])<<8 | uint32(sbox[a2&0xff])
+	v0 := uint32(sbox[b0>>24])<<24 | uint32(sbox[b1>>16&0xff])<<16 | uint32(sbox[b2>>8&0xff])<<8 | uint32(sbox[b3&0xff])
+	v1 := uint32(sbox[b1>>24])<<24 | uint32(sbox[b2>>16&0xff])<<16 | uint32(sbox[b3>>8&0xff])<<8 | uint32(sbox[b0&0xff])
+	v2 := uint32(sbox[b2>>24])<<24 | uint32(sbox[b3>>16&0xff])<<16 | uint32(sbox[b0>>8&0xff])<<8 | uint32(sbox[b1&0xff])
+	v3 := uint32(sbox[b3>>24])<<24 | uint32(sbox[b0>>16&0xff])<<16 | uint32(sbox[b1>>8&0xff])<<8 | uint32(sbox[b2&0xff])
+	return u0 ^ k0, u1 ^ k1, u2 ^ k2, u3 ^ k3, v0 ^ k0, v1 ^ k1, v2 ^ k2, v3 ^ k3
+}
+
+// EncryptBlocks encrypts len(src)/BlockSize consecutive blocks from src
+// into dst — the batch API behind speculative pad precomputation, where
+// one L2 miss wants pads for every guessed counter at once. Blocks are
+// processed in pairs through the interleaved EncryptWords2 path (an odd
+// trailing block takes the single-block path). dst may alias src; both
+// lengths must be multiples of BlockSize with dst at least as long.
+func (c *Cipher) EncryptBlocks(dst, src []byte) {
+	if len(src)%BlockSize != 0 || len(dst) < len(src) {
+		panic("aes: EncryptBlocks input not block-aligned or output too short")
+	}
+	n := len(src) / BlockSize
+	i := 0
+	for ; i+1 < n; i += 2 {
+		o := i * BlockSize
+		a0 := binary.BigEndian.Uint32(src[o+0:])
+		a1 := binary.BigEndian.Uint32(src[o+4:])
+		a2 := binary.BigEndian.Uint32(src[o+8:])
+		a3 := binary.BigEndian.Uint32(src[o+12:])
+		b0 := binary.BigEndian.Uint32(src[o+16:])
+		b1 := binary.BigEndian.Uint32(src[o+20:])
+		b2 := binary.BigEndian.Uint32(src[o+24:])
+		b3 := binary.BigEndian.Uint32(src[o+28:])
+		a0, a1, a2, a3, b0, b1, b2, b3 = c.EncryptWords2(a0, a1, a2, a3, b0, b1, b2, b3)
+		binary.BigEndian.PutUint32(dst[o+0:], a0)
+		binary.BigEndian.PutUint32(dst[o+4:], a1)
+		binary.BigEndian.PutUint32(dst[o+8:], a2)
+		binary.BigEndian.PutUint32(dst[o+12:], a3)
+		binary.BigEndian.PutUint32(dst[o+16:], b0)
+		binary.BigEndian.PutUint32(dst[o+20:], b1)
+		binary.BigEndian.PutUint32(dst[o+24:], b2)
+		binary.BigEndian.PutUint32(dst[o+28:], b3)
+	}
+	if i < n {
+		c.Encrypt(dst[i*BlockSize:], src[i*BlockSize:])
+	}
+}
+
 // Decrypt decrypts the 16-byte block src into dst using the equivalent
 // inverse cipher over the inverse T-tables. dst and src may overlap
 // entirely.

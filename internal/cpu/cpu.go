@@ -128,11 +128,27 @@ func (s Stats) AddTo(n *stats.Snapshot) {
 	n.Value("ipc", s.IPC())
 }
 
+// decoded holds one static instruction together with the properties step
+// consults on every dynamic instance: the functional-unit class and the
+// operand read/write sets. They are pure functions of the opcode, so the
+// core computes them once at construction instead of re-deriving them
+// from branchy switches in the hot loop; embedding the instruction keeps
+// the whole record in one cache line per fetch.
+type decoded struct {
+	in       isa.Instr
+	cl       isa.Class
+	memBytes uint8 // load/store access width, 0 otherwise
+	usesRs1  bool
+	usesRs2  bool
+	writesRd bool
+}
+
 // Core is one processor instance bound to a program, architectural
 // memory, and a memory hierarchy.
 type Core struct {
 	cfg  Config
 	prog *isa.Program
+	meta []decoded // parallel to prog.Instrs
 	mem  *mem.Memory
 	sys  *memsys.System
 	bp   *gshare
@@ -155,7 +171,7 @@ type Core struct {
 	commitCount   int
 	issuedAt      uint64
 	issuedCount   int
-	fu            map[isa.Class][]uint64 // per-class unit free times
+	fu            [isa.ClassHalt + 1][]uint64 // per-class unit free times, indexed by isa.Class
 
 	// Checkpoint state: check is consulted every checkEvery committed
 	// instructions; a non-nil return stops the run (see SetCheckpoint).
@@ -179,18 +195,20 @@ func New(cfg Config, prog *isa.Program, m *mem.Memory, sys *memsys.System) *Core
 		pc:   prog.Base,
 	}
 	c.retireRing = make([]uint64, cfg.ROBSize)
-	c.fu = map[isa.Class][]uint64{
-		isa.ClassALU:    make([]uint64, cfg.IntALUs),
-		isa.ClassMul:    make([]uint64, cfg.MulDivs),
-		isa.ClassDiv:    make([]uint64, cfg.MulDivs),
-		isa.ClassFPAdd:  make([]uint64, cfg.FPUs),
-		isa.ClassFPMul:  make([]uint64, cfg.FPUs),
-		isa.ClassFPDiv:  make([]uint64, cfg.FPUs),
-		isa.ClassLoad:   make([]uint64, cfg.MemPorts),
-		isa.ClassStore:  make([]uint64, cfg.MemPorts),
-		isa.ClassBranch: make([]uint64, cfg.IntALUs),
-		isa.ClassJump:   make([]uint64, cfg.IntALUs),
+	c.meta = make([]decoded, len(prog.Instrs))
+	for i, in := range prog.Instrs {
+		c.meta[i] = decode(in)
 	}
+	c.fu[isa.ClassALU] = make([]uint64, cfg.IntALUs)
+	c.fu[isa.ClassMul] = make([]uint64, cfg.MulDivs)
+	c.fu[isa.ClassDiv] = make([]uint64, cfg.MulDivs)
+	c.fu[isa.ClassFPAdd] = make([]uint64, cfg.FPUs)
+	c.fu[isa.ClassFPMul] = make([]uint64, cfg.FPUs)
+	c.fu[isa.ClassFPDiv] = make([]uint64, cfg.FPUs)
+	c.fu[isa.ClassLoad] = make([]uint64, cfg.MemPorts)
+	c.fu[isa.ClassStore] = make([]uint64, cfg.MemPorts)
+	c.fu[isa.ClassBranch] = make([]uint64, cfg.IntALUs)
+	c.fu[isa.ClassJump] = make([]uint64, cfg.IntALUs)
 	return c
 }
 
@@ -311,13 +329,39 @@ func (c *Core) Run(maxInstructions uint64) Stats {
 	return c.Stats()
 }
 
+// decode derives the static instruction properties consulted per step.
+func decode(in isa.Instr) decoded {
+	cl := in.Op.Class()
+	d := decoded{in: in, cl: cl, memBytes: uint8(in.Op.MemBytes()), writesRd: writesRd(in)}
+	d.usesRs1 = cl != isa.ClassNop && cl != isa.ClassHalt && in.Op != isa.OpLui && in.Op != isa.OpJal
+	switch cl {
+	case isa.ClassStore, isa.ClassBranch:
+		d.usesRs2 = true
+	default:
+		switch in.Op {
+		case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpSll, isa.OpSrl,
+			isa.OpSra, isa.OpSlt, isa.OpSltu, isa.OpMul, isa.OpDiv, isa.OpRem,
+			isa.OpFadd, isa.OpFsub, isa.OpFmul, isa.OpFdiv:
+			d.usesRs2 = true
+		}
+	}
+	return d
+}
+
 // step fetches, times, and functionally executes one instruction.
 func (c *Core) step() {
-	in, ok := c.prog.At(c.pc)
-	if !ok {
+	base := c.prog.Base
+	if c.pc < base || (c.pc-base)&(isa.InstrBytes-1) != 0 {
 		c.halted = true
 		return
 	}
+	idx := (c.pc - base) / isa.InstrBytes
+	if idx >= uint64(len(c.prog.Instrs)) {
+		c.halted = true
+		return
+	}
+	d := &c.meta[idx]
+	in := d.in
 	thisPC := c.pc
 
 	// ---- Fetch ----
@@ -352,24 +396,11 @@ func (c *Core) step() {
 
 	// ---- Operand readiness ----
 	ready := dispatch
-	cl := in.Op.Class()
-	usesRs1 := cl != isa.ClassNop && cl != isa.ClassHalt && in.Op != isa.OpLui && in.Op != isa.OpJal
-	if usesRs1 && c.regReady[in.Rs1] > ready {
+	cl := d.cl
+	if d.usesRs1 && c.regReady[in.Rs1] > ready {
 		ready = c.regReady[in.Rs1]
 	}
-	usesRs2 := false
-	switch cl {
-	case isa.ClassStore, isa.ClassBranch:
-		usesRs2 = true
-	default:
-		switch in.Op {
-		case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpSll, isa.OpSrl,
-			isa.OpSra, isa.OpSlt, isa.OpSltu, isa.OpMul, isa.OpDiv, isa.OpRem,
-			isa.OpFadd, isa.OpFsub, isa.OpFmul, isa.OpFdiv:
-			usesRs2 = true
-		}
-	}
-	if usesRs2 && c.regReady[in.Rs2] > ready {
+	if d.usesRs2 && c.regReady[in.Rs2] > ready {
 		ready = c.regReady[in.Rs2]
 	}
 
@@ -388,7 +419,7 @@ func (c *Core) step() {
 		memDone := c.sys.Access(issue, addr, false)
 		complete = memDone
 		if c.lvp != nil {
-			actual := c.mem.Load(addr, in.Op.MemBytes())
+			actual := c.mem.Load(addr, int(d.memBytes))
 			if speculated, correct := c.lvp.train(thisPC, actual); speculated {
 				if correct {
 					// Dependents used the predicted value; the access
@@ -422,7 +453,7 @@ func (c *Core) step() {
 	c.issuedCount++
 
 	// ---- Functional execution & control flow ----
-	nextPC, taken := c.exec(in, thisPC)
+	nextPC, taken := c.exec(in, d, thisPC)
 
 	switch cl {
 	case isa.ClassBranch:
@@ -451,7 +482,7 @@ func (c *Core) step() {
 	}
 
 	// ---- Writeback ----
-	if writesRd(in) && in.Rd != 0 {
+	if d.writesRd && in.Rd != 0 {
 		c.regReady[in.Rd] = complete
 	}
 
@@ -469,7 +500,9 @@ func (c *Core) step() {
 	}
 	c.commitCount++
 	c.retireRing[c.retireIdx] = commit
-	c.retireIdx = (c.retireIdx + 1) % c.cfg.ROBSize
+	if c.retireIdx++; c.retireIdx == len(c.retireRing) {
+		c.retireIdx = 0
+	}
 
 	c.stats.Instructions++
 	c.pc = nextPC
@@ -498,7 +531,7 @@ func writesRd(in isa.Instr) bool {
 
 // exec computes the architectural effect of in at pc, returning the next
 // PC and (for branches) whether it was taken.
-func (c *Core) exec(in isa.Instr, pc uint64) (nextPC uint64, taken bool) {
+func (c *Core) exec(in isa.Instr, d *decoded, pc uint64) (nextPC uint64, taken bool) {
 	rs1 := c.regs[in.Rs1]
 	rs2 := c.regs[in.Rs2]
 	set := func(v uint64) {
@@ -563,9 +596,9 @@ func (c *Core) exec(in isa.Instr, pc uint64) (nextPC uint64, taken bool) {
 	case isa.OpLui:
 		set(uint64(in.Imm) << 12)
 	case isa.OpLd, isa.OpLw, isa.OpLh, isa.OpLb:
-		set(c.mem.Load(rs1+uint64(in.Imm), in.Op.MemBytes()))
+		set(c.mem.Load(rs1+uint64(in.Imm), int(d.memBytes)))
 	case isa.OpSd, isa.OpSw, isa.OpSh, isa.OpSb:
-		c.mem.Store(rs1+uint64(in.Imm), in.Op.MemBytes(), rs2)
+		c.mem.Store(rs1+uint64(in.Imm), int(d.memBytes), rs2)
 	case isa.OpBeq:
 		taken = rs1 == rs2
 	case isa.OpBne:
@@ -589,7 +622,7 @@ func (c *Core) exec(in isa.Instr, pc uint64) (nextPC uint64, taken bool) {
 	default:
 		panic(fmt.Sprintf("cpu: unimplemented opcode %v", in.Op))
 	}
-	if in.Op.Class() == isa.ClassBranch && taken {
+	if d.cl == isa.ClassBranch && taken {
 		nextPC = pc + uint64(in.Imm)
 	}
 	return nextPC, taken

@@ -12,12 +12,19 @@ import "ctrpred/internal/isa"
 // hierarchy and OTP prediction for 8 billion instructions".
 func (c *Core) RunFunctional(maxInstructions uint64) Stats {
 	now := c.lastCommit
+	base := c.prog.Base
 	for !c.halted && (maxInstructions == 0 || c.stats.Instructions < maxInstructions) {
-		in, ok := c.prog.At(c.pc)
-		if !ok {
+		if c.pc < base || (c.pc-base)&(isa.InstrBytes-1) != 0 {
 			c.halted = true
 			break
 		}
+		idx := (c.pc - base) / isa.InstrBytes
+		if idx >= uint64(len(c.prog.Instrs)) {
+			c.halted = true
+			break
+		}
+		d := &c.meta[idx]
+		in := d.in
 		thisPC := c.pc
 		now++
 
@@ -29,9 +36,9 @@ func (c *Core) RunFunctional(maxInstructions uint64) Stats {
 			c.haveFetchLine = true
 		}
 
-		if n := in.Op.MemBytes(); n > 0 {
+		if d.memBytes > 0 {
 			addr := c.regs[in.Rs1] + uint64(in.Imm)
-			write := in.Op.Class() == isa.ClassStore
+			write := d.cl == isa.ClassStore
 			c.sys.Access(now, addr, write)
 			if write {
 				c.stats.Stores++
@@ -40,8 +47,8 @@ func (c *Core) RunFunctional(maxInstructions uint64) Stats {
 			}
 		}
 
-		nextPC, taken := c.exec(in, thisPC)
-		if in.Op.Class() == isa.ClassBranch {
+		nextPC, taken := c.exec(in, d, thisPC)
+		if d.cl == isa.ClassBranch {
 			c.stats.Branches++
 			_ = taken
 		}

@@ -102,6 +102,9 @@ type Engine struct {
 	nextIssue uint64
 	// issuedThisCycle tracks multi-issue within the current nextIssue slot.
 	issuedThisCycle int
+	// reference routes the batched guess paths through the retained
+	// one-request-at-a-time loop (see SetReference).
+	reference bool
 }
 
 // New creates an engine using key material via the given keystream.
@@ -165,6 +168,81 @@ func (e *Engine) ScheduleOnly(now uint64, class Class) uint64 {
 		e.stats.LastBusy = ready
 	}
 	return ready
+}
+
+// SetReference selects the retained scalar request loop for the batched
+// guess APIs: every guess goes through reserveSlot/ComputeInto one at a
+// time, exactly as the pre-batching engine did. The batched fast path is
+// defined to produce bit- and cycle-identical results, so this is a
+// debugging escape hatch (and the anchor for the equivalence suite), not
+// a behavioral mode.
+func (e *Engine) SetReference(on bool) { e.reference = on }
+
+// Reference reports whether the scalar reference loop is selected.
+func (e *Engine) Reference() bool { return e.reference }
+
+// ScheduleGuesses books one prediction-class pipeline slot per guess —
+// the speculative burst a counter-prediction miss issues — and returns
+// the index of the first guess equal to trueSeq (-1 if none) plus the
+// cycle at which that guess's pad emerges from the pipeline (0 if none).
+// Accounting (Issued, StallCycles, LastBusy, QueueWait) is identical to
+// calling ScheduleOnly once per guess: the burst occupies consecutive
+// issue slots, so the i-th guess waits one cycle longer than its
+// predecessor and the whole burst books with two or three arithmetic
+// updates instead of a per-request reservation walk.
+func (e *Engine) ScheduleGuesses(now uint64, guesses []uint64, trueSeq uint64) (matchIdx int, padReady uint64) {
+	matchIdx = -1
+	for i, g := range guesses {
+		if g == trueSeq {
+			matchIdx = i
+			break
+		}
+	}
+	n := uint64(len(guesses))
+	if n == 0 {
+		return -1, 0
+	}
+	if e.reference || e.cfg.IssuePerCycle != 1 {
+		// Scalar loop: the reference path, and the general multi-issue
+		// case where a burst does not map to one slot per cycle.
+		for i := range guesses {
+			ready := e.ScheduleOnly(now, ClassPrediction)
+			if i == matchIdx {
+				padReady = ready
+			}
+		}
+		return matchIdx, padReady
+	}
+	if now > e.nextIssue {
+		e.nextIssue = now
+		e.issuedThisCycle = 0
+	}
+	start0 := e.nextIssue
+	wait := start0 - now
+	e.stats.Issued[ClassPrediction] += n
+	e.stats.StallCycles += wait*n + n*(n-1)/2
+	e.stats.QueueWait.ObserveRange(wait, n)
+	if last := start0 + n - 1 + e.cfg.LatencyCycles; last > e.stats.LastBusy {
+		e.stats.LastBusy = last
+	}
+	e.nextIssue = start0 + n
+	if matchIdx >= 0 {
+		padReady = start0 + uint64(matchIdx) + e.cfg.LatencyCycles
+	}
+	return matchIdx, padReady
+}
+
+// ComputeGuessesInto is ScheduleGuesses plus pad materialization: when a
+// guess matches trueSeq, the matching pad (the only one whose bits are
+// observable) is computed into dst in a single fused counter-block pass.
+// Timing and accounting are identical to the pre-batching loop of one
+// ComputeInto for the match and ScheduleOnly for every other guess.
+func (e *Engine) ComputeGuessesInto(dst *ctr.Pad, now uint64, vaddr uint64, guesses []uint64, trueSeq uint64) (matchIdx int, padReady uint64) {
+	matchIdx, padReady = e.ScheduleGuesses(now, guesses, trueSeq)
+	if matchIdx >= 0 {
+		e.ks.PadInto(dst, vaddr, trueSeq)
+	}
+	return matchIdx, padReady
 }
 
 func (e *Engine) reserveSlot(now uint64) uint64 {

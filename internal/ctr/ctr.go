@@ -71,15 +71,20 @@ func (k *Keystream) PadInto(dst *Pad, vaddr, seq uint64) {
 		panic("ctr: pad address not line-aligned")
 	}
 	seqHi, seqLo := uint32(seq>>32), uint32(seq)
-	for half := 0; half < LineSize/HalfLine; half++ {
-		a := vaddr + uint64(half*HalfLine)
-		w0, w1, w2, w3 := k.cipher.EncryptWords(uint32(a>>32), uint32(a), seqHi, seqLo)
-		o := half * HalfLine
-		binary.BigEndian.PutUint32(dst[o:o+4], w0)
-		binary.BigEndian.PutUint32(dst[o+4:o+8], w1)
-		binary.BigEndian.PutUint32(dst[o+8:o+12], w2)
-		binary.BigEndian.PutUint32(dst[o+12:o+16], w3)
-	}
+	a1 := vaddr + HalfLine
+	// The two half-line blocks are independent, so they run through the
+	// interleaved two-block path in one fused pass.
+	w0, w1, w2, w3, x0, x1, x2, x3 := k.cipher.EncryptWords2(
+		uint32(vaddr>>32), uint32(vaddr), seqHi, seqLo,
+		uint32(a1>>32), uint32(a1), seqHi, seqLo)
+	binary.BigEndian.PutUint32(dst[0:4], w0)
+	binary.BigEndian.PutUint32(dst[4:8], w1)
+	binary.BigEndian.PutUint32(dst[8:12], w2)
+	binary.BigEndian.PutUint32(dst[12:16], w3)
+	binary.BigEndian.PutUint32(dst[16:20], x0)
+	binary.BigEndian.PutUint32(dst[20:24], x1)
+	binary.BigEndian.PutUint32(dst[24:28], x2)
+	binary.BigEndian.PutUint32(dst[28:32], x3)
 }
 
 // PadsInto computes one pad per sequence number in seqs, all for the
@@ -103,16 +108,17 @@ func (k *Keystream) PadsInto(dst []Pad, vaddr uint64, seqs []uint64) {
 	for i, seq := range seqs {
 		seqHi, seqLo := uint32(seq>>32), uint32(seq)
 		p := &dst[i]
-		w0, w1, w2, w3 := k.cipher.EncryptWords(a0hi, a0lo, seqHi, seqLo)
+		w0, w1, w2, w3, x0, x1, x2, x3 := k.cipher.EncryptWords2(
+			a0hi, a0lo, seqHi, seqLo,
+			a1hi, a1lo, seqHi, seqLo)
 		binary.BigEndian.PutUint32(p[0:4], w0)
 		binary.BigEndian.PutUint32(p[4:8], w1)
 		binary.BigEndian.PutUint32(p[8:12], w2)
 		binary.BigEndian.PutUint32(p[12:16], w3)
-		w0, w1, w2, w3 = k.cipher.EncryptWords(a1hi, a1lo, seqHi, seqLo)
-		binary.BigEndian.PutUint32(p[16:20], w0)
-		binary.BigEndian.PutUint32(p[20:24], w1)
-		binary.BigEndian.PutUint32(p[24:28], w2)
-		binary.BigEndian.PutUint32(p[28:32], w3)
+		binary.BigEndian.PutUint32(p[16:20], x0)
+		binary.BigEndian.PutUint32(p[20:24], x1)
+		binary.BigEndian.PutUint32(p[24:28], x2)
+		binary.BigEndian.PutUint32(p[28:32], x3)
 	}
 }
 
@@ -149,8 +155,20 @@ func (k *Keystream) DecryptLine(cipher Line, vaddr, seq uint64) Line {
 // self-check mode: it records every (vaddr, seq) pair used to *encrypt*
 // data and reports reuse, which would be a one-time-pad violation. The
 // zero value is ready to use.
+//
+// RecordEncrypt sits on the controller's encrypt path (every
+// materialization and dirty eviction), so the set is open-addressed with
+// linear probing rather than a Go map: the 128-bit key hashes with two
+// multiplies and probes a flat slot array, with no per-insert
+// allocation or map-bucket overhead.
 type PadTracker struct {
-	used map[padID]struct{}
+	slots []padID // power-of-two open-addressed table
+	state []uint8 // 1 = slot occupied
+	count int
+	// base is an optional frozen tracker whose pairs count as already
+	// used: machines running from a pre-aged template share the
+	// template's (vaddr, seq) set read-only instead of re-recording it.
+	base *PadTracker
 	// Violations counts encryptions that reused a (vaddr, seq) pair.
 	Violations uint64
 	// Encryptions counts all recorded encryptions.
@@ -159,19 +177,86 @@ type PadTracker struct {
 
 type padID struct{ vaddr, seq uint64 }
 
+// padHash mixes the (vaddr, seq) pair into a table index seed
+// (splitmix64-style finalizer over a golden-ratio fold).
+func padHash(vaddr, seq uint64) uint64 {
+	x := vaddr*0x9e3779b97f4a7c15 + seq
+	x ^= x >> 32
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 29
+	return x
+}
+
+// grow doubles the table (or seeds it) and reinserts every occupied slot.
+func (t *PadTracker) grow() {
+	newLen := 1024
+	if len(t.slots) > 0 {
+		newLen = len(t.slots) * 2
+	}
+	oldSlots, oldState := t.slots, t.state
+	t.slots = make([]padID, newLen)
+	t.state = make([]uint8, newLen)
+	mask := uint64(newLen - 1)
+	for i, st := range oldState {
+		if st == 0 {
+			continue
+		}
+		id := oldSlots[i]
+		h := padHash(id.vaddr, id.seq) & mask
+		for t.state[h] != 0 {
+			h = (h + 1) & mask
+		}
+		t.slots[h] = id
+		t.state[h] = 1
+	}
+}
+
+// SetBase installs a frozen tracker whose recorded pairs count as
+// already-used pads. The base must not be mutated afterwards; callers
+// record into this tracker only. Encryptions that hit a base pair are
+// violations, exactly as if the base's history had been recorded here.
+func (t *PadTracker) SetBase(base *PadTracker) { t.base = base }
+
+// contains reports whether (vaddr, seq) has been recorded, without
+// consulting the base or mutating anything.
+func (t *PadTracker) contains(vaddr, seq uint64) bool {
+	if len(t.slots) == 0 {
+		return false
+	}
+	mask := uint64(len(t.slots) - 1)
+	h := padHash(vaddr, seq) & mask
+	for t.state[h] != 0 {
+		if t.slots[h].vaddr == vaddr && t.slots[h].seq == seq {
+			return true
+		}
+		h = (h + 1) & mask
+	}
+	return false
+}
+
 // RecordEncrypt notes that (vaddr, seq) was used to encrypt a new data
 // version and reports whether the pair was fresh.
 func (t *PadTracker) RecordEncrypt(vaddr, seq uint64) bool {
-	if t.used == nil {
-		t.used = make(map[padID]struct{})
-	}
 	t.Encryptions++
-	id := padID{vaddr, seq}
-	if _, dup := t.used[id]; dup {
+	if t.base != nil && t.base.contains(vaddr, seq) {
 		t.Violations++
 		return false
 	}
-	t.used[id] = struct{}{}
+	if t.count*4 >= len(t.slots)*3 { // keep load factor ≤ 3/4
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	h := padHash(vaddr, seq) & mask
+	for t.state[h] != 0 {
+		if t.slots[h].vaddr == vaddr && t.slots[h].seq == seq {
+			t.Violations++
+			return false
+		}
+		h = (h + 1) & mask
+	}
+	t.slots[h] = padID{vaddr, seq}
+	t.state[h] = 1
+	t.count++
 	return true
 }
 

@@ -11,7 +11,11 @@
 // BusRatio CPU cycles).
 package dram
 
-import "ctrpred/internal/stats"
+import (
+	"math/bits"
+
+	"ctrpred/internal/stats"
+)
 
 // Config describes the DRAM channel.
 type Config struct {
@@ -84,6 +88,11 @@ type DRAM struct {
 	banks   []bank
 	busFree uint64
 	stats   Stats
+	// rowShift caches log2(RowBytes) when RowBytes is a power of two
+	// (rowPow2), replacing a 64-bit division on the address-mapping path
+	// of every access with a shift.
+	rowShift uint
+	rowPow2  bool
 }
 
 // New creates a DRAM channel; it panics on invalid geometry.
@@ -94,7 +103,14 @@ func New(cfg Config) *DRAM {
 	if cfg.RowBytes <= 0 || cfg.BusBytes <= 0 || cfg.BusRatio == 0 {
 		panic("dram: invalid timing/geometry")
 	}
-	return &DRAM{cfg: cfg, banks: make([]bank, cfg.Banks)}
+	d := &DRAM{cfg: cfg, banks: make([]bank, cfg.Banks)}
+	if rb := cfg.RowBytes; rb&(rb-1) == 0 {
+		d.rowPow2 = true
+		for s := rb; s > 1; s >>= 1 {
+			d.rowShift++
+		}
+	}
+	return d
 }
 
 // Config returns the channel configuration.
@@ -113,11 +129,20 @@ func (d *DRAM) mapAddr(addr uint64) (bankIdx int, row uint64) {
 			n = d.cfg.Banks - d.cfg.PartitionBanks
 		}
 	}
-	rowOfBank := addr / uint64(d.cfg.RowBytes)
+	var rowOfBank uint64
+	if d.rowPow2 {
+		rowOfBank = addr >> d.rowShift
+	} else {
+		rowOfBank = addr / uint64(d.cfg.RowBytes)
+	}
 	// Bank bits are hashed with higher row bits (XOR interleave), as real
 	// controllers do, so strided streams spread across banks.
-	bank := (rowOfBank ^ rowOfBank>>3 ^ rowOfBank>>7) % uint64(n)
-	return lo + int(bank), rowOfBank / uint64(n)
+	h := rowOfBank ^ rowOfBank>>3 ^ rowOfBank>>7
+	if n&(n-1) == 0 {
+		// Full bank set or power-of-two partition: mask and shift.
+		return lo + int(h&uint64(n-1)), rowOfBank >> uint(bits.TrailingZeros(uint(n)))
+	}
+	return lo + int(h%uint64(n)), rowOfBank / uint64(n)
 }
 
 // Access performs a read or write of n bytes at addr, starting no earlier

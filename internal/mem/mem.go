@@ -28,6 +28,24 @@ func New() *Memory {
 	return &Memory{lines: paged.New[ctr.Line](ctr.LineSize)}
 }
 
+// Release returns a view's copy-on-write pages to the template's shared
+// pool (see paged.Table.Release). The memory must not be used afterward.
+func (m *Memory) Release() { m.lines.Release() }
+
+// Freeze marks the memory immutable; further stores panic. A frozen
+// memory is a safe template for NewView across concurrent simulations.
+func (m *Memory) Freeze() { m.lines.Freeze() }
+
+// NewView returns a copy-on-write view of template: loads read through to
+// the template's lines, while the first store to a page copies it into
+// the view, so template contents are never modified. The template is
+// frozen as a side effect. This is how sweeps share one built workload
+// image across many machines instead of re-assembling and re-writing
+// megabytes per run.
+func NewView(template *Memory) *Memory {
+	return &Memory{lines: paged.NewView(template.lines)}
+}
+
 // LineAddr returns addr rounded down to its 32-byte line.
 func LineAddr(addr uint64) uint64 { return addr &^ uint64(ctr.LineSize-1) }
 
@@ -133,3 +151,10 @@ func (m *Memory) ReadBytes(addr uint64, p []byte) {
 
 // TouchedLines reports how many distinct lines have been written.
 func (m *Memory) TouchedLines() int { return m.lines.Count() }
+
+// ForEachLine visits every written line in ascending address order,
+// calling fn with each line's base address. Views visit only their own
+// copied pages, so call this on the underlying memory, not a view.
+func (m *Memory) ForEachLine(fn func(la uint64)) {
+	m.lines.ForEach(func(addr uint64, _ *ctr.Line) { fn(addr) })
+}

@@ -172,9 +172,18 @@ type rangeEntry struct {
 
 // Predictor implements all schemes behind one type; construct with New.
 type Predictor struct {
-	cfg          Config
-	pages        map[uint64]*pageMeta
-	rnd          *rng.Xoshiro256
+	cfg Config
+	// Page metadata sits on the hot path (Predict/Observe/Root all hit
+	// it, several times per fetch), so the common low-address pages live
+	// in a flat pointer directory grown on demand — one bounds check and
+	// one indexed load instead of a hash probe. Pages beyond the dense
+	// horizon (nothing the built-in workloads map, but the API must not
+	// care) fall back to a sparse map. First-touch order, and therefore
+	// the root-draw sequence, is identical either way.
+	pageDense  []*pageMeta
+	pageSparse map[uint64]*pageMeta
+	pageCount  int
+	rnd        *rng.Xoshiro256
 	lor          uint64 // latest offset register
 	lorValid     bool
 	rangeTable   []rangeEntry
@@ -202,7 +211,6 @@ func New(cfg Config) *Predictor {
 	}
 	p := &Predictor{
 		cfg:          cfg,
-		pages:        make(map[uint64]*pageMeta),
 		rnd:          rng.New(cfg.Seed),
 		linesPerPage: cfg.PageSize / cfg.LineSize,
 		rangeSpan:    uint64(cfg.Depth + 1),
@@ -233,15 +241,38 @@ func (p *Predictor) lineIndex(vaddr uint64) int {
 	return int(vaddr % uint64(p.cfg.PageSize) / uint64(p.cfg.LineSize))
 }
 
+// densePageMax bounds the flat page directory: virtual pages below
+// cover the first 4 GiB of address space at the default 4 KiB geometry.
+const densePageMax = 1 << 20
+
 // page returns (allocating if needed) the metadata for vaddr's page. A
 // fresh page gets a random root — the model of the hardware RNG assigning
 // a root when the virtual page is mapped.
 func (p *Predictor) page(vaddr uint64) *pageMeta {
 	vp := p.vpage(vaddr)
-	m := p.pages[vp]
+	if vp < densePageMax {
+		if vp < uint64(len(p.pageDense)) {
+			if m := p.pageDense[vp]; m != nil {
+				return m
+			}
+		} else {
+			grown := make([]*pageMeta, vp+64)
+			copy(grown, p.pageDense)
+			p.pageDense = grown
+		}
+		m := &pageMeta{root: p.rnd.Uint64()}
+		p.pageDense[vp] = m
+		p.pageCount++
+		return m
+	}
+	if p.pageSparse == nil {
+		p.pageSparse = make(map[uint64]*pageMeta)
+	}
+	m := p.pageSparse[vp]
 	if m == nil {
 		m = &pageMeta{root: p.rnd.Uint64()}
-		p.pages[vp] = m
+		p.pageSparse[vp] = m
+		p.pageCount++
 	}
 	return m
 }
@@ -497,4 +528,4 @@ func (p *Predictor) WarmRange(vaddr uint64, offset uint64) {
 }
 
 // PageCount reports how many pages have metadata (touched pages).
-func (p *Predictor) PageCount() int { return len(p.pages) }
+func (p *Predictor) PageCount() int { return p.pageCount }

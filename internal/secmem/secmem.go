@@ -56,6 +56,17 @@ type Config struct {
 	// image and every encryption against pad-reuse (cheap; on by default
 	// in tests and examples).
 	SelfCheck bool
+	// CountersOnly drops the functional ciphertext/pad half of the model:
+	// the controller tracks counters, predictor state, caches, DRAM and
+	// engine timing — everything the hit-rate figures observe — but never
+	// stores pads or ciphertext and never XORs data. Every statistic and
+	// every returned timing is identical to the full model (the engine's
+	// Schedule* paths book exactly what the Compute* paths do); only
+	// FetchResult.Plain, which has no consumer in this mode, stays zero.
+	// Long functional-mode sweeps use it to cut the dominant allocations.
+	// Incompatible with SelfCheck, Direct, integrity trees and fault
+	// injection — New and the attach points enforce that.
+	CountersOnly bool
 	// Scheme labels SecurityErrors with the scheme under test; sim sets
 	// it from the run configuration. Purely diagnostic.
 	Scheme string
@@ -143,13 +154,18 @@ type Controller struct {
 	scache  *seqcache.Cache // nil when the design has no seq cache
 	image   *mem.Memory     // architectural plaintext
 
-	// state is the untrusted-RAM model: per line, the ciphertext, the
-	// counter, and whether the test adversary corrupted it. The working
-	// set is bounded and known at config time, so it lives in paged
-	// backing arrays (flat indexing, no hashing on the fetch/evict hot
-	// path) with a sparse fallback beyond the dense horizon; a line is
-	// materialized exactly when its table entry exists.
-	state  *paged.Table[lineState]
+	// The untrusted-RAM model is split into a hot counter table and a
+	// cold ciphertext/pad table so the two can be touched — and, under
+	// copy-on-write views of a shared template, *copied* — independently:
+	// every fetch and eviction reads counters, but only the functional
+	// decrypt/encrypt paths need the 64 bytes of pad material per line.
+	// Counters-only mode never touches pads at all. The working set is
+	// bounded and known at config time, so both live in paged backing
+	// arrays (flat indexing, no hashing on the fetch/evict hot path) with
+	// a sparse fallback beyond the dense horizon; a line is materialized
+	// exactly when its counter-table entry exists.
+	ctrs   *paged.Table[ctrState]
+	pads   *paged.Table[padState]
 	tree   *integrity.Tree   // optional hash-tree integrity protection
 	direct *ctr.DirectCipher // non-nil in direct mode
 
@@ -168,12 +184,17 @@ type Controller struct {
 	seqBuf     [4]uint64
 	seqBufAge  [4]uint64
 	seqBufTick uint64
+
+	// reference selects the retained one-request-at-a-time engine loop
+	// and disables the stored-pad shortcut (see SetReference).
+	reference bool
 }
 
-// lineState is one protected line's off-chip state.
-type lineState struct {
-	enc ctr.Line // encrypted RAM contents
-	seq uint64   // counter-table entry
+// ctrState is the hot half of one protected line's off-chip state: what
+// every fetch and eviction must read, and all a counters-only controller
+// ever stores (24 bytes against the pad half's 72).
+type ctrState struct {
+	seq uint64 // counter-table entry
 	// goodSeq shadows the last legitimately written counter. Adversarial
 	// counter corruption changes seq only, so recovery and evictions can
 	// always advance from a counter known fresh — the role the root of
@@ -184,12 +205,36 @@ type lineState struct {
 	tampered bool
 }
 
+// padState is the cold half: the functional ciphertext and pad material,
+// touched only by paths that actually move data bits.
+type padState struct {
+	enc ctr.Line // encrypted RAM contents
+	// pad, when padValid, holds the OTP for (line address, seq) — kept
+	// from whichever path last encrypted the line (template pre-aging,
+	// materialization, writeback, heal). Counter mode reuses the exact
+	// pad to decrypt, so a fetch whose counter matches books its
+	// pipeline slots normally and skips re-running AES; every path that
+	// changes seq either refreshes the pad or clears padValid. This is
+	// the functional analogue of the paper's precomputation buffer,
+	// ignored in reference mode.
+	pad      ctr.Pad
+	padValid bool
+}
+
 // New wires a controller. pred must be non-nil (use predictor.SchemeNone
 // for designs without prediction — the predictor still owns per-page roots
 // and counter assignment). sc may be nil.
 func New(cfg Config, d *dram.DRAM, e *cryptoengine.Engine, pred *predictor.Predictor, sc *seqcache.Cache, image *mem.Memory) *Controller {
 	if pred == nil {
 		panic("secmem: predictor must not be nil")
+	}
+	if cfg.CountersOnly {
+		if cfg.SelfCheck {
+			panic("secmem: CountersOnly stores no plaintext to check; disable SelfCheck")
+		}
+		if cfg.Direct {
+			panic("secmem: CountersOnly is meaningless under direct encryption")
+		}
 	}
 	if cfg.SeqTableBase == 0 {
 		cfg.SeqTableBase = 1 << 40
@@ -218,7 +263,8 @@ func New(cfg Config, d *dram.DRAM, e *cryptoengine.Engine, pred *predictor.Predi
 		pred:    pred,
 		scache:  sc,
 		image:   image,
-		state:   paged.New[lineState](ctr.LineSize),
+		ctrs:    paged.New[ctrState](ctr.LineSize),
+		pads:    paged.New[padState](ctr.LineSize),
 		stats:   Stats{FetchLatency: stats.NewHistogram(100, 150, 200, 300, 500)},
 	}
 }
@@ -235,11 +281,31 @@ func (c *Controller) SeqCache() *seqcache.Cache { return c.scache }
 // PadViolations reports one-time-pad reuse detected by the self-check.
 func (c *Controller) PadViolations() uint64 { return c.tracker.Violations }
 
+// CountersOnly reports whether the controller runs the counters-only
+// model (see Config.CountersOnly).
+func (c *Controller) CountersOnly() bool { return c.cfg.CountersOnly }
+
+// SetReference selects the retained scalar fetch path: the engine books
+// every speculative guess one request at a time and the controller
+// recomputes every pad instead of reusing the materialization pad. The
+// batched fast path is defined to be bit- and cycle-identical, so this
+// exists as a debugging escape hatch and as the anchor the equivalence
+// suite compares the fast path against.
+func (c *Controller) SetReference(on bool) {
+	c.reference = on
+	if c.engine != nil {
+		c.engine.SetReference(on)
+	}
+}
+
 // AttachIntegrity enables hash-tree verification of every fetch and
 // update of every writeback. Must be called before any line is touched so
 // the tree covers the whole image.
 func (c *Controller) AttachIntegrity(t *integrity.Tree) {
-	if c.state.Count() != 0 {
+	if c.cfg.CountersOnly {
+		panic("secmem: AttachIntegrity on a counters-only controller (no ciphertext to verify)")
+	}
+	if c.ctrs.Count() != 0 {
 		panic("secmem: AttachIntegrity after lines were touched")
 	}
 	c.tree = t
@@ -263,35 +329,41 @@ func (c *Controller) TamperLine(vaddr uint64, bit int) {
 // verification (with a tree attached) and would otherwise silently
 // decrypt to garbage; the plaintext self-check is suppressed for
 // tampered lines so the corruption is observable, not a model bug.
+// It refuses in counters-only mode (no ciphertext exists to corrupt).
 // Implements faults.Target.
 func (c *Controller) TamperData(la uint64, bit int) bool {
-	st := c.materialize(mem.LineAddr(la))
-	st.enc[(bit/8)%ctr.LineSize] ^= 1 << (bit % 8)
-	st.tampered = true
+	if c.cfg.CountersOnly {
+		return false
+	}
+	cs, ps := c.owned(mem.LineAddr(la))
+	ps.enc[(bit/8)%ctr.LineSize] ^= 1 << (bit % 8)
+	cs.tampered = true
 	return true
 }
 
 // TamperCounter rolls line la's counter-table entry back by delta —
 // counter-table corruption aimed at forcing pad reuse. It refuses in
-// direct mode (no counters exist). The corrupted counter takes effect at
-// the line's next fetch; on-chip counter copies (seq cache, fetch
-// buffer) model availability timing, not values, so they do not mask the
-// corruption. Implements faults.Target.
+// direct mode (no counters exist) and in counters-only mode (armed
+// adversaries require the full functional model). The corrupted counter
+// takes effect at the line's next fetch; on-chip counter copies (seq
+// cache, fetch buffer) model availability timing, not values, so they do
+// not mask the corruption. Implements faults.Target.
 func (c *Controller) TamperCounter(la uint64, delta uint64) bool {
-	if c.direct != nil {
+	if c.direct != nil || c.cfg.CountersOnly {
 		return false
 	}
-	st := c.materialize(mem.LineAddr(la))
-	if delta == 0 || st.seq == 0 {
+	cs, ps := c.owned(mem.LineAddr(la))
+	if delta == 0 || cs.seq == 0 {
 		return false // nothing to roll back; the attack stays armed
 	}
-	if delta > st.seq {
+	if delta > cs.seq {
 		// Saturate rather than wrap: an underflowed ~2^64 counter must
 		// never leak into any recovery or writeback path.
-		delta = st.seq
+		delta = cs.seq
 	}
-	st.seq -= delta
-	st.tampered = true
+	cs.seq -= delta
+	ps.padValid = false // the stored pad no longer matches the counter
+	cs.tampered = true
 	return true
 }
 
@@ -308,30 +380,38 @@ func (c *Controller) TamperTreeNode(la uint64, bit int) bool {
 
 // SpliceLines swaps the ciphertext stored at lines la and lb — a
 // relocation attack: both lines hold valid ciphertext, just not at these
-// addresses. Implements faults.Target.
+// addresses. It refuses in counters-only mode. Implements faults.Target.
 func (c *Controller) SpliceLines(la, lb uint64) bool {
+	if c.cfg.CountersOnly {
+		return false
+	}
 	la, lb = mem.LineAddr(la), mem.LineAddr(lb)
 	if la == lb {
 		return false
 	}
-	a, b := c.materialize(la), c.materialize(lb)
-	a.enc, b.enc = b.enc, a.enc
-	a.tampered, b.tampered = true, true
+	ca, pa := c.owned(la)
+	cb, pb := c.owned(lb)
+	pa.enc, pb.enc = pb.enc, pa.enc
+	ca.tampered, cb.tampered = true, true
 	return true
 }
 
 // ReplayStale restores a previously captured (ciphertext, counter) pair
 // at line la — the classic replay attack. It refuses a pair identical to
-// the current off-chip state (that would be a no-op, not a replay).
-// Implements faults.Target.
+// the current off-chip state (that would be a no-op, not a replay) and
+// refuses in counters-only mode. Implements faults.Target.
 func (c *Controller) ReplayStale(la uint64, enc ctr.Line, seq uint64) bool {
-	st := c.materialize(mem.LineAddr(la))
-	if st.seq == seq && st.enc == enc {
+	if c.cfg.CountersOnly {
 		return false
 	}
-	st.enc = enc
-	st.seq = seq
-	st.tampered = true
+	cs, ps := c.owned(mem.LineAddr(la))
+	if cs.seq == seq && ps.enc == enc {
+		return false
+	}
+	ps.enc = enc
+	cs.seq = seq
+	ps.padValid = false // the stored pad no longer matches the counter
+	cs.tampered = true
 	return true
 }
 
@@ -340,6 +420,9 @@ func (c *Controller) ReplayStale(la uint64, enc ctr.Line, seq uint64) bool {
 // after arming; a nil injector disarms. With no injector armed the data
 // path takes a single nil-check per fetch.
 func (c *Controller) ArmFaults(inj *faults.Injector) {
+	if inj != nil && c.cfg.CountersOnly {
+		panic("secmem: ArmFaults on a counters-only controller (attacks need the functional model)")
+	}
 	c.faults = inj
 	if inj != nil {
 		inj.Bind(c)
@@ -402,31 +485,73 @@ func (c *Controller) fetchCounter(now uint64, la uint64) uint64 {
 // materialize lazily creates the encrypted copy of a line the first time
 // the off-chip image is touched, modeling the loader writing the program
 // image through the crypto engine with the page's initial (root) counter.
-// It returns the line's off-chip state.
-func (c *Controller) materialize(la uint64) *lineState {
-	st, fresh := c.state.Ensure(la)
-	if !fresh {
-		return st
+// It returns the line's off-chip state for *reading*: when the state is a
+// view of a shared pre-aged template the pointers may reach into the
+// template, so mutation paths must go through owned instead.
+func (c *Controller) materialize(la uint64) (*ctrState, *padState) {
+	if cs := c.ctrs.Lookup(la); cs != nil {
+		return cs, c.pads.Lookup(la)
 	}
-	if c.direct != nil {
-		st.enc = c.direct.EncryptLine(c.image.LineAt(la), la)
-		if c.tree != nil {
-			c.tree.Update(0, la, 0, st.enc)
+	return c.owned(la)
+}
+
+// owned returns la's off-chip state for *writing*: it materializes the
+// line if needed and, when the state is a view of a shared template,
+// forces the copy-on-write so the caller's mutation stays machine-local.
+func (c *Controller) owned(la uint64) (*ctrState, *padState) {
+	cs, fresh := c.ctrs.Ensure(la)
+	ps, _ := c.pads.Ensure(la)
+	if fresh {
+		c.initLine(cs, ps, la)
+	}
+	return cs, ps
+}
+
+// ctrOnly returns la's counter state, initializing a fresh line's
+// counters from its page root — the counters-only materialization, which
+// never touches the pad table. forWrite forces the copy-on-write even
+// when the line exists in a shared template.
+func (c *Controller) ctrOnly(la uint64, forWrite bool) *ctrState {
+	if !forWrite {
+		if cs := c.ctrs.Lookup(la); cs != nil {
+			return cs
 		}
-		return st
+	}
+	cs, fresh := c.ctrs.Ensure(la)
+	if fresh {
+		root := c.pred.Root(la)
+		cs.seq = root
+		cs.goodSeq = root
+	}
+	return cs
+}
+
+// initLine encrypts a freshly created line's architectural contents into
+// its off-chip state under the page's root counter.
+func (c *Controller) initLine(cs *ctrState, ps *padState, la uint64) {
+	if c.direct != nil {
+		ps.enc = c.direct.EncryptLine(c.image.LineAt(la), la)
+		if c.tree != nil {
+			c.tree.Update(0, la, 0, ps.enc)
+		}
+		return
 	}
 	root := c.pred.Root(la)
-	st.seq = root
-	st.goodSeq = root
+	cs.seq = root
+	cs.goodSeq = root
 	plain := c.image.LineAt(la)
-	c.engine.Keystream().EncryptLineInto(&st.enc, &plain, la, root)
+	// Keep the pad: the fetch that triggered this materialization (and
+	// any later fetch while the counter is unchanged) decrypts under the
+	// identical (address, root) pad.
+	c.engine.Keystream().PadInto(&ps.pad, la, root)
+	ctr.XORLine(&ps.enc, &plain, &ps.pad)
+	ps.padValid = true
 	if c.cfg.SelfCheck {
 		c.tracker.RecordEncrypt(la, root)
 	}
 	if c.tree != nil {
-		c.tree.Update(0, la, root, st.enc) // image load: untimed
+		c.tree.Update(0, la, root, ps.enc) // image load: untimed
 	}
-	return st
 }
 
 // AgeLine initializes the counter of the line containing vaddr to
@@ -436,43 +561,136 @@ func (c *Controller) materialize(la uint64) *lineState {
 // fetched or evicted; calls after the line has been touched are ignored.
 func (c *Controller) AgeLine(vaddr uint64, offset uint64) {
 	la := mem.LineAddr(vaddr)
-	if c.state.Lookup(la) != nil {
+	if c.ctrs.Lookup(la) != nil {
 		return
 	}
-	st, _ := c.state.Ensure(la)
+	cs, _ := c.ctrs.Ensure(la)
 	seq := c.pred.Root(la) + offset
-	st.seq = seq
-	st.goodSeq = seq
+	cs.seq = seq
+	cs.goodSeq = seq
+	if c.cfg.CountersOnly {
+		// Counter dynamics are all the functional figures observe; skip
+		// the (AES-heavy) pad/ciphertext half entirely.
+		return
+	}
+	ps, _ := c.pads.Ensure(la)
 	plain := c.image.LineAt(la)
-	c.engine.Keystream().EncryptLineInto(&st.enc, &plain, la, seq)
+	c.engine.Keystream().PadInto(&ps.pad, la, seq)
+	ctr.XORLine(&ps.enc, &plain, &ps.pad)
+	ps.padValid = true
 	if c.cfg.SelfCheck {
 		c.tracker.RecordEncrypt(la, seq)
 	}
 	if c.tree != nil {
-		c.tree.Update(0, la, seq, st.enc)
+		c.tree.Update(0, la, seq, ps.enc)
 	}
+}
+
+// AgedTemplate is a frozen pre-aged off-chip state — the result of the
+// AgeLine setup loop run once — that any number of machines with the same
+// (key, image, counter seed) share copy-on-write instead of re-encrypting
+// megabytes of aged lines per run. Build one with BuildAgedTemplate and
+// attach it with Controller.UseAgedTemplate. Counter and pad halves are
+// separate tables so counters-only machines share — and copy-on-write —
+// only the 24-byte counter half, never the 72-byte pad half.
+type AgedTemplate struct {
+	ctrs    *paged.Table[ctrState]
+	pads    *paged.Table[padState]
+	tracker ctr.PadTracker
+}
+
+// Lines reports how many distinct lines the template pre-aged.
+func (t *AgedTemplate) Lines() int { return t.ctrs.Count() }
+
+// BuildAgedTemplate replays the aging setup loop once into a frozen
+// template: visit yields the sampled (line address, counter offset) pairs
+// in setup order, roots maps a line address to its page root counter
+// (it is consulted exactly once per distinct line, in first-touch order,
+// so a caller drawing roots from a seeded stream reproduces the per-run
+// draw sequence), and ks/image supply the key and plaintext. Duplicate
+// line addresses are skipped exactly as Controller.AgeLine skips
+// already-touched lines.
+func BuildAgedTemplate(ks *ctr.Keystream, image *mem.Memory, roots func(la uint64) uint64, visit func(yield func(la, offset uint64))) *AgedTemplate {
+	t := &AgedTemplate{
+		ctrs: paged.New[ctrState](ctr.LineSize),
+		pads: paged.New[padState](ctr.LineSize),
+	}
+	visit(func(la, offset uint64) {
+		la = mem.LineAddr(la)
+		cs, fresh := t.ctrs.Ensure(la)
+		if !fresh {
+			return
+		}
+		ps, _ := t.pads.Ensure(la)
+		seq := roots(la) + offset
+		cs.seq = seq
+		cs.goodSeq = seq
+		plain := image.LineAt(la)
+		ks.PadInto(&ps.pad, la, seq)
+		ctr.XORLine(&ps.enc, &plain, &ps.pad)
+		ps.padValid = true
+		t.tracker.RecordEncrypt(la, seq)
+	})
+	t.ctrs.Freeze()
+	t.pads.Freeze()
+	return t
+}
+
+// UseAgedTemplate replaces the controller's empty off-chip state with a
+// copy-on-write view of the template and shares the template's pad-use
+// history read-only (pads the template recorded count as used, so reuse
+// is still a violation). The caller must have advanced the controller's
+// predictor to the same per-page roots the template was built with — sim
+// does this by replaying the root draws in template order. Must be called
+// before any line is touched; incompatible with an integrity tree, whose
+// per-machine contents are built during eager aging.
+func (c *Controller) UseAgedTemplate(t *AgedTemplate) {
+	if c.ctrs.Count() != 0 {
+		panic("secmem: UseAgedTemplate after lines were touched")
+	}
+	if c.tree != nil {
+		panic("secmem: UseAgedTemplate with integrity tree attached")
+	}
+	c.ctrs = paged.NewView(t.ctrs)
+	c.pads = paged.NewView(t.pads)
+	c.tracker.SetBase(&t.tracker)
+}
+
+// Release returns the controller's copy-on-write line state to the aged
+// template's page pools (a no-op unless UseAgedTemplate attached one).
+// The controller must not be used afterward.
+func (c *Controller) Release() {
+	c.ctrs.Release()
+	c.pads.Release()
 }
 
 // FetchLine services an L2 miss for the line containing vaddr, starting
 // at cycle now. It returns the decrypted line and full timing detail.
 func (c *Controller) FetchLine(now uint64, vaddr uint64) FetchResult {
 	la := mem.LineAddr(vaddr)
-	st := c.materialize(la)
 	c.stats.Fetches++
+	if c.cfg.CountersOnly {
+		return c.fetchCountersOnly(now, la)
+	}
+	cs, ps := c.materialize(la)
 	if c.faults != nil {
-		if !st.tampered && c.faults.WantsPairs() {
+		if !cs.tampered && c.faults.WantsPairs() {
 			// The adversary snoops reads as well as writes: the pair on
 			// the bus is replay material.
-			c.faults.ObservePair(la, st.enc, st.seq)
+			c.faults.ObservePair(la, ps.enc, cs.seq)
 		}
 		// The adversary strikes between the DRAM read and verification.
 		c.faults.BeforeFetch(now, la)
+		// An attack mutates through owned, which may have copied the
+		// line's page out of a shared template; re-acquire so the fetch
+		// reads the corrupted machine-local copy, not the template's.
+		cs, ps = c.materialize(la)
 	}
 	if c.direct != nil {
-		return c.fetchDirect(now, la, st)
+		return c.fetchDirect(now, la, cs, ps)
 	}
 
-	trueSeq := st.seq
+	trueSeq := cs.seq
 	res := FetchResult{TrueSeq: trueSeq}
 
 	// Counter availability. The counter fetch is issued ahead of the line
@@ -497,10 +715,18 @@ func (c *Controller) FetchLine(now uint64, vaddr uint64) FetchResult {
 
 	// Pad generation (Figure 4). Prediction only engages when the counter
 	// is not already on chip; membership is still evaluated for the
-	// Figure 9 overlap accounting.
+	// Figure 9 overlap accounting. When the line still carries the pad
+	// of its current counter — set at pre-aging, materialization,
+	// writeback or heal — the fetch books its pipeline slots normally
+	// but reuses the stored bits instead of re-running AES.
 	var pad ctr.Pad
+	padp := &pad
 	var padReady uint64
 	predicted := false
+	var cached *ctr.Pad
+	if ps.padValid && !c.reference {
+		cached = &ps.pad
+	}
 	if !c.cfg.Oracle {
 		if guesses := c.pred.Predict(la); len(guesses) > 0 {
 			if res.SeqHit {
@@ -513,17 +739,20 @@ func (c *Controller) FetchLine(now uint64, vaddr uint64) FetchResult {
 					}
 				}
 			} else {
-				for _, g := range guesses {
-					// Every guess occupies a pipeline slot; only the
-					// matching pad's bits are materialized (a discarded
-					// pad's value is unobservable, its timing is not).
-					if g == trueSeq && !predicted {
-						predicted = true
-						padReady = c.engine.ComputeInto(&pad, now, la, g, cryptoengine.ClassPrediction)
-					} else {
-						c.engine.ScheduleOnly(now, cryptoengine.ClassPrediction)
+				// Every guess occupies a pipeline slot; only the matching
+				// pad's bits are materialized (a discarded pad's value is
+				// unobservable, its timing is not). The whole burst is
+				// booked in one batched engine pass.
+				var matchIdx int
+				if cached != nil {
+					matchIdx, padReady = c.engine.ScheduleGuesses(now, guesses, trueSeq)
+					if matchIdx >= 0 {
+						padp = cached
 					}
+				} else {
+					matchIdx, padReady = c.engine.ComputeGuessesInto(&pad, now, la, guesses, trueSeq)
 				}
+				predicted = matchIdx >= 0
 			}
 			// The guess list is handed back so the hit depth is attributed
 			// to this fetch's own guesses, never a stale internal buffer.
@@ -548,29 +777,34 @@ func (c *Controller) FetchLine(now uint64, vaddr uint64) FetchResult {
 		}
 	}
 	if !predicted || res.SeqHit {
-		padReady = c.engine.ComputeInto(&pad, res.SeqDone, la, trueSeq, cryptoengine.ClassDemand)
+		if cached != nil {
+			padReady = c.engine.ScheduleOnly(res.SeqDone, cryptoengine.ClassDemand)
+			padp = cached
+		} else {
+			padReady = c.engine.ComputeInto(&pad, res.SeqDone, la, trueSeq, cryptoengine.ClassDemand)
+			padp = &pad
+		}
 	}
-
 	// Decrypt once both ciphertext and pad are in hand (+1 cycle XOR).
 	res.Done = maxU64(res.LineDone, padReady) + 1
-	ctr.XORLine(&res.Plain, &st.enc, &pad)
+	ctr.XORLine(&res.Plain, &ps.enc, padp)
 
 	// Integrity verification proceeds from ciphertext arrival, in
 	// parallel with pad generation; data is architecturally usable only
 	// once both decryption and verification complete.
 	res.Authentic = true
 	if c.tree != nil {
-		ok, vDone := c.tree.Verify(res.LineDone, la, trueSeq, st.enc)
+		ok, vDone := c.tree.Verify(res.LineDone, la, trueSeq, ps.enc)
 		res.Authentic = ok
 		if vDone+1 > res.Done {
 			res.Done = vDone + 1
 		}
 		if !ok {
-			c.handleTamper(&res, now, la, trueSeq, st)
+			c.handleTamper(&res, now, la, trueSeq, cs, ps)
 		}
 	}
 
-	if c.cfg.SelfCheck && (res.Authentic || res.Recovered) && !st.tampered {
+	if c.cfg.SelfCheck && (res.Authentic || res.Recovered) && !cs.tampered {
 		want := c.image.LineRef(la) // nil for never-written memory, which reads as zero
 		if (want != nil && res.Plain != *want) || (want == nil && res.Plain != (ctr.Line{})) {
 			c.stats.SelfCheckFails++
@@ -585,27 +819,97 @@ func (c *Controller) FetchLine(now uint64, vaddr uint64) FetchResult {
 	return res
 }
 
+// fetchCountersOnly is FetchLine for the counters-only model: identical
+// counter, cache, DRAM, predictor and engine bookings — the engine's
+// Schedule* paths reserve exactly the slots the Compute* paths do — with
+// no pad bits materialized and no ciphertext XORed. Every FetchResult
+// field except Plain matches the full model's.
+func (c *Controller) fetchCountersOnly(now, la uint64) FetchResult {
+	trueSeq := c.ctrOnly(la, false).seq
+	res := FetchResult{TrueSeq: trueSeq, Authentic: true}
+
+	seqInCache := false
+	if c.scache != nil {
+		seqInCache = c.scache.Access(la)
+	}
+	switch {
+	case c.cfg.Oracle:
+		res.SeqDone = now
+		c.stats.OracleHits++
+	case seqInCache:
+		res.SeqDone = now
+		res.SeqHit = true
+		c.stats.SeqCacheHits++
+	default:
+		res.SeqDone = c.fetchCounter(now, la)
+	}
+	res.LineDone = c.dram.Access(now, la, ctr.LineSize, false)
+
+	var padReady uint64
+	predicted := false
+	if !c.cfg.Oracle {
+		if guesses := c.pred.Predict(la); len(guesses) > 0 {
+			if res.SeqHit {
+				for _, g := range guesses {
+					if g == trueSeq {
+						predicted = true
+						break
+					}
+				}
+			} else {
+				var matchIdx int
+				matchIdx, padReady = c.engine.ScheduleGuesses(now, guesses, trueSeq)
+				predicted = matchIdx >= 0
+			}
+			c.pred.Observe(la, trueSeq, guesses)
+		}
+	}
+	if predicted {
+		c.stats.PredHits++
+		if res.SeqHit {
+			c.stats.BothHits++
+		}
+		res.PredHit = true
+		if padReady < res.SeqDone {
+			padReady = res.SeqDone
+		}
+		if res.SeqHit {
+			predicted = false
+		}
+	}
+	if !predicted || res.SeqHit {
+		padReady = c.engine.ScheduleOnly(res.SeqDone, cryptoengine.ClassDemand)
+	}
+	res.Done = maxU64(res.LineDone, padReady) + 1
+
+	c.stats.FetchLatency.Observe(res.Done - now)
+	if res.Done > res.LineDone {
+		c.stats.DecryptExposed += res.Done - res.LineDone
+	}
+	return res
+}
+
 // fetchDirect services a miss under direct encryption: decryption can
 // only start once the whole ciphertext has arrived — the serialization
 // counter mode exists to break.
-func (c *Controller) fetchDirect(now uint64, la uint64, st *lineState) FetchResult {
+func (c *Controller) fetchDirect(now uint64, la uint64, cs *ctrState, ps *padState) FetchResult {
 	res := FetchResult{Authentic: true}
 	res.LineDone = c.dram.Access(now, la, ctr.LineSize, false)
 	res.SeqDone = res.LineDone // no counters in this mode
 	ready := c.engine.ScheduleOnly(res.LineDone, cryptoengine.ClassDemand)
 	res.Done = ready + 1
-	res.Plain = c.direct.DecryptLine(st.enc, la)
+	res.Plain = c.direct.DecryptLine(ps.enc, la)
 	if c.tree != nil {
-		ok, vDone := c.tree.Verify(res.LineDone, la, 0, st.enc)
+		ok, vDone := c.tree.Verify(res.LineDone, la, 0, ps.enc)
 		res.Authentic = ok
 		if vDone+1 > res.Done {
 			res.Done = vDone + 1
 		}
 		if !ok {
-			c.handleTamper(&res, now, la, 0, st)
+			c.handleTamper(&res, now, la, 0, cs, ps)
 		}
 	}
-	if c.cfg.SelfCheck && (res.Authentic || res.Recovered) && !st.tampered {
+	if c.cfg.SelfCheck && (res.Authentic || res.Recovered) && !cs.tampered {
 		if want := c.image.LineAt(la); res.Plain != want {
 			c.stats.SelfCheckFails++
 			c.recordSecurityError(KindSelfCheck, la, 0, now)
@@ -624,7 +928,7 @@ func (c *Controller) fetchDirect(now uint64, la uint64, st *lineState) FetchResu
 // re-fetches within the retry budget, and heals persistent corruption
 // from the protected domain, updating res with the recovered data and
 // completion time.
-func (c *Controller) handleTamper(res *FetchResult, now, la, seq uint64, st *lineState) {
+func (c *Controller) handleTamper(res *FetchResult, now, la, seq uint64, cs *ctrState, ps *padState) {
 	c.stats.TamperDetected++
 	if c.faults != nil {
 		c.faults.ObserveDetection(la, res.Done)
@@ -633,7 +937,7 @@ func (c *Controller) handleTamper(res *FetchResult, now, la, seq uint64, st *lin
 		c.recordSecurityError(KindTamper, la, seq, now)
 		return
 	}
-	plain, done := c.quarantine(res.Done, la, st)
+	plain, done := c.quarantine(res.Done, la, cs, ps)
 	res.Plain = plain
 	res.Recovered = true
 	if done > res.Done {
@@ -645,7 +949,7 @@ func (c *Controller) handleTamper(res *FetchResult, now, la, seq uint64, st *lin
 // transient fault would clear here) and, when the corruption persists,
 // restores the line from the protected domain. It returns the usable
 // plaintext and the cycle recovery completed.
-func (c *Controller) quarantine(now uint64, la uint64, st *lineState) (ctr.Line, uint64) {
+func (c *Controller) quarantine(now uint64, la uint64, cs *ctrState, ps *padState) (ctr.Line, uint64) {
 	c.sec.Quarantined++
 	budget := c.cfg.RetryBudget
 	if budget <= 0 {
@@ -654,7 +958,7 @@ func (c *Controller) quarantine(now uint64, la uint64, st *lineState) (ctr.Line,
 	// Direct mode keys the tree with counter 0 everywhere (fetchDirect,
 	// evictDirect, heal); the re-verify must match or a transient fault
 	// could never requalify.
-	seq := st.seq
+	seq := cs.seq
 	if c.direct != nil {
 		seq = 0
 	}
@@ -662,7 +966,7 @@ func (c *Controller) quarantine(now uint64, la uint64, st *lineState) (ctr.Line,
 	for i := 0; i < budget; i++ {
 		c.sec.Retries++
 		t = c.dram.Access(t, la, ctr.LineSize, false)
-		ok, vDone := c.tree.Verify(t, la, seq, st.enc)
+		ok, vDone := c.tree.Verify(t, la, seq, ps.enc)
 		if vDone > t {
 			t = vDone
 		}
@@ -672,15 +976,15 @@ func (c *Controller) quarantine(now uint64, la uint64, st *lineState) (ctr.Line,
 			// already paid on the demand path.
 			c.sec.Requalified++
 			if c.direct != nil {
-				return c.direct.DecryptLine(st.enc, la), t + 1
+				return c.direct.DecryptLine(ps.enc, la), t + 1
 			}
-			return c.engine.Keystream().DecryptLine(st.enc, la, st.seq), t + 1
+			return c.engine.Keystream().DecryptLine(ps.enc, la, cs.seq), t + 1
 		}
 	}
 	// Persistent corruption: restore from the architectural image under
 	// a fresh counter, exactly like a writeback, and rewrite the tree
 	// path. The degradation is counted; the line leaves quarantine clean.
-	t = c.heal(t, la, st)
+	t = c.heal(t, la)
 	return c.image.LineAt(la), t + 1
 }
 
@@ -688,32 +992,33 @@ func (c *Controller) quarantine(now uint64, la uint64, st *lineState) (ctr.Line,
 // reinstalls its tree path — the recovery writeback. The fresh counter
 // advances from the shadow goodSeq, so adversarial rollback can never
 // trick recovery into pad reuse.
-func (c *Controller) heal(now uint64, la uint64, st *lineState) uint64 {
+func (c *Controller) heal(now uint64, la uint64) uint64 {
+	cs, ps := c.owned(la)
 	c.sec.Healed++
 	if c.direct != nil {
 		ready := c.engine.ScheduleOnly(now, cryptoengine.ClassWriteback)
-		st.enc = c.direct.EncryptLine(c.image.LineAt(la), la)
-		st.tampered = false
-		upDone := c.tree.Update(now, la, 0, st.enc)
+		ps.enc = c.direct.EncryptLine(c.image.LineAt(la), la)
+		cs.tampered = false
+		upDone := c.tree.Update(now, la, 0, ps.enc)
 		t := c.dram.Access(now, la, ctr.LineSize, true)
 		return maxU64(maxU64(t, ready), upDone)
 	}
-	// Advance from the shadow goodSeq alone: a legitimate st.seq never
+	// Advance from the shadow goodSeq alone: a legitimate cs.seq never
 	// exceeds it (tampering only lowers or replays counters), so a larger
-	// st.seq is attacker-controlled — e.g. an underflowed rollback — and
+	// cs.seq is attacker-controlled — e.g. an underflowed rollback — and
 	// must not steer the fresh-counter choice.
-	next := c.pred.NextSeqForEvict(la, st.goodSeq)
-	st.seq = next
-	st.goodSeq = next
-	var pad ctr.Pad
-	padReady := c.engine.ComputeInto(&pad, now, la, next, cryptoengine.ClassWriteback)
+	next := c.pred.NextSeqForEvict(la, cs.goodSeq)
+	cs.seq = next
+	cs.goodSeq = next
+	padReady := c.engine.ComputeInto(&ps.pad, now, la, next, cryptoengine.ClassWriteback)
 	plain := c.image.LineAt(la)
-	ctr.XORLine(&st.enc, &plain, &pad)
-	st.tampered = false
+	ctr.XORLine(&ps.enc, &plain, &ps.pad)
+	ps.padValid = true
+	cs.tampered = false
 	if c.cfg.SelfCheck {
 		c.tracker.RecordEncrypt(la, next)
 	}
-	upDone := c.tree.Update(now, la, next, st.enc)
+	upDone := c.tree.Update(now, la, next, ps.enc)
 	if c.scache != nil {
 		c.scache.Update(la)
 	}
@@ -728,40 +1033,43 @@ func (c *Controller) heal(now uint64, la uint64, st *lineState) uint64 {
 // buffered in hardware, so callers normally ignore it beyond statistics.
 func (c *Controller) EvictLine(now uint64, vaddr uint64) uint64 {
 	la := mem.LineAddr(vaddr)
-	st := c.materialize(la) // a store-allocated line may never have been fetched
 	c.stats.Evictions++
+	if c.cfg.CountersOnly {
+		return c.evictCountersOnly(now, la)
+	}
+	cs, ps := c.owned(la) // a store-allocated line may never have been fetched
 	if c.direct != nil {
-		return c.evictDirect(now, la, st)
+		return c.evictDirect(now, la, cs, ps)
 	}
 
 	if c.faults != nil && c.faults.WantsPairs() {
 		// The adversary records the off-chip pair this writeback replaces:
 		// the most stale replay material an attacker snooping the bus from
 		// run begin could hold.
-		c.faults.ObservePair(la, st.enc, st.seq)
+		c.faults.ObservePair(la, ps.enc, cs.seq)
 	}
 	// Advance from the shadow goodSeq, never the off-chip counter: a
-	// legitimate st.seq equals goodSeq, and any divergence is adversarial
+	// legitimate cs.seq equals goodSeq, and any divergence is adversarial
 	// (rollback, replay, or underflow wrap) — a writeback must never let
 	// it pick the pad.
-	next := c.pred.NextSeqForEvict(la, st.goodSeq)
-	st.seq = next
-	st.goodSeq = next
+	next := c.pred.NextSeqForEvict(la, cs.goodSeq)
+	cs.seq = next
+	cs.goodSeq = next
 
-	var pad ctr.Pad
-	padReady := c.engine.ComputeInto(&pad, now, la, next, cryptoengine.ClassWriteback)
+	padReady := c.engine.ComputeInto(&ps.pad, now, la, next, cryptoengine.ClassWriteback)
 	if plain := c.image.LineRef(la); plain != nil {
-		ctr.XORLine(&st.enc, plain, &pad)
+		ctr.XORLine(&ps.enc, plain, &ps.pad)
 	} else {
 		var zero ctr.Line
-		ctr.XORLine(&st.enc, &zero, &pad)
+		ctr.XORLine(&ps.enc, &zero, &ps.pad)
 	}
-	st.tampered = false // a legitimate writeback replaces corrupted data
+	ps.padValid = true
+	cs.tampered = false // a legitimate writeback replaces corrupted data
 	if c.cfg.SelfCheck {
 		c.tracker.RecordEncrypt(la, next)
 	}
 	if c.tree != nil {
-		c.tree.Update(now, la, next, st.enc)
+		c.tree.Update(now, la, next, ps.enc)
 	}
 
 	// Counter writes are write-through; the cached copy (if any) is
@@ -778,16 +1086,34 @@ func (c *Controller) EvictLine(now uint64, vaddr uint64) uint64 {
 	return maxU64(maxU64(tLine, tSeq), padReady)
 }
 
+// evictCountersOnly is EvictLine for the counters-only model: the counter
+// advances exactly as in the full model (predictor and seq-cache dynamics
+// depend on it) and the engine/DRAM book the same writeback traffic, but
+// no pad is computed and no ciphertext is stored.
+func (c *Controller) evictCountersOnly(now, la uint64) uint64 {
+	cs := c.ctrOnly(la, true) // a store-allocated line may never have been fetched
+	next := c.pred.NextSeqForEvict(la, cs.goodSeq)
+	cs.seq = next
+	cs.goodSeq = next
+	padReady := c.engine.ScheduleOnly(now, cryptoengine.ClassWriteback)
+	if c.scache != nil {
+		c.scache.Update(la)
+	}
+	tLine := c.dram.Access(now, la, ctr.LineSize, true)
+	tSeq := c.seqDRAM.Access(now, c.seqAddr(la), seqcache.SeqBytes, true)
+	return maxU64(maxU64(tLine, tSeq), padReady)
+}
+
 // evictDirect writes back a line under direct encryption.
-func (c *Controller) evictDirect(now uint64, la uint64, st *lineState) uint64 {
+func (c *Controller) evictDirect(now uint64, la uint64, cs *ctrState, ps *padState) uint64 {
 	ready := c.engine.ScheduleOnly(now, cryptoengine.ClassWriteback)
 	if c.faults != nil && c.faults.WantsPairs() {
-		c.faults.ObservePair(la, st.enc, 0)
+		c.faults.ObservePair(la, ps.enc, 0)
 	}
-	st.enc = c.direct.EncryptLine(c.image.LineAt(la), la)
-	st.tampered = false
+	ps.enc = c.direct.EncryptLine(c.image.LineAt(la), la)
+	cs.tampered = false
 	if c.tree != nil {
-		c.tree.Update(now, la, 0, st.enc)
+		c.tree.Update(now, la, 0, ps.enc)
 	}
 	t := c.dram.Access(now, la, ctr.LineSize, true)
 	return maxU64(t, ready)
@@ -796,14 +1122,23 @@ func (c *Controller) evictDirect(now uint64, la uint64, st *lineState) uint64 {
 // Seq returns the current counter of the line containing vaddr (tests).
 func (c *Controller) Seq(vaddr uint64) uint64 {
 	la := mem.LineAddr(vaddr)
-	return c.materialize(la).seq
+	if c.cfg.CountersOnly {
+		return c.ctrOnly(la, false).seq
+	}
+	cs, _ := c.materialize(la)
+	return cs.seq
 }
 
 // EncryptedLine returns the off-chip ciphertext of the line containing
 // vaddr, as an adversary probing the RAM would see it (tests, examples).
+// Panics in counters-only mode, which stores no ciphertext.
 func (c *Controller) EncryptedLine(vaddr uint64) ctr.Line {
+	if c.cfg.CountersOnly {
+		panic("secmem: EncryptedLine on a counters-only controller")
+	}
 	la := mem.LineAddr(vaddr)
-	return c.materialize(la).enc
+	_, ps := c.materialize(la)
+	return ps.enc
 }
 
 func maxU64(a, b uint64) uint64 {

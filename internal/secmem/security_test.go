@@ -291,11 +291,11 @@ func TestDirectQuarantineRequalifiesWithCounterZero(t *testing.T) {
 	addr := uint64(0x2000)
 	r.image.Store(addr, 8, 5)
 	r.ctrl.FetchLine(0, addr)
-	st := r.ctrl.materialize(addr)
-	st.seq = 12345 // stray counter state; direct mode has no counters
+	cs, ps := r.ctrl.materialize(addr)
+	cs.seq = 12345 // stray counter state; direct mode has no counters
 	// The off-chip line itself is intact — the model of a transient
 	// verification fault that cleared by the re-read.
-	plain, _ := r.ctrl.quarantine(1000, addr, st)
+	plain, _ := r.ctrl.quarantine(1000, addr, cs, ps)
 	if plain != r.image.LineAt(addr) {
 		t.Fatal("requalified plaintext differs from the architectural image")
 	}

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -101,6 +102,12 @@ type Server struct {
 	expsRun   atomic.Uint64
 	streamed  atomic.Uint64
 	cacheSrvd atomic.Uint64
+
+	// jobDurNS/jobsDone accumulate wall-clock job durations so a 429's
+	// Retry-After can be derived from how long jobs actually take here
+	// rather than a fixed guess.
+	jobDurNS atomic.Int64
+	jobsDone atomic.Uint64
 }
 
 // New assembles a Server from cfg (see Config for zero-value defaults).
@@ -369,6 +376,11 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, spec dispatchS
 	}
 	job := func() {
 		defer close(events)
+		start := time.Now()
+		defer func() {
+			s.jobDurNS.Add(int64(time.Since(start)))
+			s.jobsDone.Add(1)
+		}()
 		spec.run(ctx, func(ev Event) {
 			if ev.Event == "result" || ev.Event == "error" {
 				emit(ev)
@@ -378,12 +390,14 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, spec dispatchS
 		})
 	}
 
-	queueDepth := s.pool.Stats().Pending
+	ps := s.pool.Stats()
+	queueDepth := ps.Pending
 	if err := s.pool.TrySubmit(spec.label, job); err != nil {
 		s.rejected.Add(1)
 		switch {
 		case errors.Is(err, runpool.ErrPoolSaturated):
-			w.Header().Set("Retry-After", "1")
+			ra := retryAfterSeconds(ps, s.meanJobLatency())
+			w.Header().Set("Retry-After", strconv.Itoa(ra))
 			httpError(w, http.StatusTooManyRequests, errors.New("job queue full; retry later"))
 		default:
 			httpError(w, http.StatusServiceUnavailable, err)
@@ -426,6 +440,41 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, spec dispatchS
 	default:
 		httpError(w, http.StatusInternalServerError, errors.New("job produced no result"))
 	}
+}
+
+// meanJobLatency is the average wall-clock duration of finished jobs,
+// or 0 before the first one completes.
+func (s *Server) meanJobLatency() time.Duration {
+	n := s.jobsDone.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(uint64(s.jobDurNS.Load()) / n)
+}
+
+// retryAfterSeconds turns pool occupancy and observed mean job latency
+// into a Retry-After hint for a saturated 429. A rejected client gets a
+// slot once enough jobs ahead of it finish for the backlog to open up;
+// jobs drain Workers at a time, so the (running + pending) occupancy
+// seen at rejection is Pending/Workers full waves behind the currently
+// running one, each taking about one mean latency. Before any job has
+// finished (no latency signal) the hint falls back to 1 s, which also
+// floors the result; 60 s caps it so a pathological backlog never tells
+// clients to go away for minutes.
+func retryAfterSeconds(ps runpool.PoolStats, mean time.Duration) int {
+	if mean <= 0 || ps.Workers <= 0 {
+		return 1
+	}
+	waves := 1 + ps.Pending/ps.Workers
+	wait := time.Duration(waves) * mean
+	secs := int((wait + time.Second - 1) / time.Second) // ceil
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // execSim runs one simulation and emits its stream events.
@@ -572,6 +621,7 @@ func (s *Server) Snapshot() *stats.Snapshot {
 	n.Counter("streamed", s.streamed.Load())
 	n.Counter("cache_served", s.cacheSrvd.Load())
 	n.Value("uptime_seconds", time.Since(s.start).Seconds())
+	n.Value("mean_job_ms", float64(s.meanJobLatency())/float64(time.Millisecond))
 
 	ps := s.pool.Stats()
 	pn := n.Child("pool")

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"ctrpred/internal/runpool"
 	"ctrpred/internal/sim"
 )
 
@@ -270,6 +271,8 @@ func TestQueueSaturationReturns429(t *testing.T) {
 	if resp2.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("over-capacity status = %d (body %s), want 429", resp2.StatusCode, body)
 	}
+	// No job has finished yet, so there is no latency signal and the
+	// hint falls back to its 1 s floor.
 	if ra := resp2.Header.Get("Retry-After"); ra != "1" {
 		t.Fatalf("Retry-After = %q, want 1", ra)
 	}
@@ -277,6 +280,55 @@ func TestQueueSaturationReturns429(t *testing.T) {
 		t.Fatalf("rejected counter = %d, want 1", got)
 	}
 	// Cleanup's Shutdown cancels the long job within one CheckInterval.
+}
+
+// TestRetryAfterComputation pins the saturated-pool Retry-After hint:
+// occupancy and mean job latency in, whole seconds out, with the 1 s
+// floor (including the no-signal fallback) and 60 s cap.
+func TestRetryAfterComputation(t *testing.T) {
+	cases := []struct {
+		name    string
+		workers int
+		pending int
+		mean    time.Duration
+		want    int
+	}{
+		{"no latency signal", 4, 8, 0, 1},
+		{"no workers", 0, 0, time.Second, 1},
+		{"fast jobs floor at 1s", 4, 0, 50 * time.Millisecond, 1},
+		{"one wave rounds up", 4, 0, 1500 * time.Millisecond, 2},
+		{"backlog adds waves", 2, 4, 2 * time.Second, 6}, // (1 + 4/2) waves × 2 s
+		{"partial wave truncates", 4, 3, 2 * time.Second, 2},
+		{"deep backlog capped", 1, 1000, time.Second, 60},
+	}
+	for _, tc := range cases {
+		ps := runpool.PoolStats{Workers: tc.workers, Pending: tc.pending}
+		if got := retryAfterSeconds(ps, tc.mean); got != tc.want {
+			t.Errorf("%s: retryAfterSeconds(workers=%d pending=%d mean=%v) = %d, want %d",
+				tc.name, tc.workers, tc.pending, tc.mean, got, tc.want)
+		}
+	}
+}
+
+// TestMeanJobLatencyFeedsRetryAfter covers the wiring end to end: after
+// a job finishes, the server has a latency estimate and a saturated 429
+// derives its hint from it rather than the fallback.
+func TestMeanJobLatencyFeedsRetryAfter(t *testing.T) {
+	s := New(Config{Workers: 1, Backlog: -1})
+	t.Cleanup(func() { s.Shutdown(context.Background()) })
+	if got := s.meanJobLatency(); got != 0 {
+		t.Fatalf("mean latency before any job = %v, want 0", got)
+	}
+	s.jobDurNS.Add(int64(3 * time.Second))
+	s.jobDurNS.Add(int64(5 * time.Second))
+	s.jobsDone.Add(2)
+	if got, want := s.meanJobLatency(), 4*time.Second; got != want {
+		t.Fatalf("mean latency = %v, want %v", got, want)
+	}
+	ps := runpool.PoolStats{Workers: 1, Pending: 0}
+	if got := retryAfterSeconds(ps, s.meanJobLatency()); got != 4 {
+		t.Fatalf("Retry-After from observed latency = %d, want 4", got)
+	}
 }
 
 // TestShutdownDrainsRunningJob covers the graceful half of the shutdown

@@ -38,3 +38,66 @@ func TestSteadyStateAccessAllocFree(t *testing.T) {
 		t.Errorf("steady-state L2-hit access allocates %v times per run, want 0", n)
 	}
 }
+
+// TestHitRateSteadyStateAllocs pins the per-run allocation behavior the
+// functional-mode sweeps depend on: once the (benchmark, scale, seed)
+// template is cached, every further run attaches copy-on-write views and
+// recycles its pages through the template's free lists on Close, so the
+// steady-state cost is a few hundred small allocations (machine wiring),
+// not megabytes of line-state tables. Measured ~340 allocs/run; the
+// bound leaves an order of magnitude of headroom so it only trips on a
+// real regression (e.g. a path that stops releasing pages or rebuilds
+// the template per run).
+func TestHitRateSteadyStateAllocs(t *testing.T) {
+	cfg := DefaultConfig(SchemePred(predictor.SchemeRegular)).WithMode(HitRate)
+	cfg.Scale = workload.Scale{Footprint: 1 << 20, Instructions: 200_000}
+	cfg.SelfCheck = false
+	// Warm the template cache and the page free lists.
+	if _, err := Run("mcf", cfg); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := Run("mcf", cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Logf("steady-state allocs/run = %.0f", avg)
+	if avg > 5000 {
+		t.Fatalf("steady-state HitRate run allocates %.0f objects; the template/arena path should stay in the hundreds", avg)
+	}
+}
+
+// TestCountersOnlyGating pins when sim selects the controller's
+// counters-only model: functional mode with nothing needing the
+// plaintext path — and never in performance mode, under self-check,
+// integrity, faults, or direct encryption, all of which need real
+// ciphertext.
+func TestCountersOnlyGating(t *testing.T) {
+	base := DefaultConfig(SchemePred(predictor.SchemeRegular)).WithMode(HitRate)
+	base.Scale = workload.Scale{Footprint: 1 << 18, Instructions: 1000}
+	base.SelfCheck = false
+
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want bool
+	}{
+		{"hitrate", func(c *Config) {}, true},
+		{"performance", func(c *Config) { c.Mode = Performance }, false},
+		{"selfcheck", func(c *Config) { c.SelfCheck = true }, false},
+		{"integrity", func(c *Config) { c.Integrity = true }, false},
+		{"direct", func(c *Config) { c.Scheme = SchemeDirect() }, false},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mut(&cfg)
+		m, err := NewMachine("gzip", cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := m.Ctrl.CountersOnly(); got != tc.want {
+			t.Errorf("%s: CountersOnly = %v, want %v", tc.name, got, tc.want)
+		}
+		m.Close()
+	}
+}

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"ctrpred/internal/faults"
+	"ctrpred/internal/predictor"
+	"ctrpred/internal/rng"
+	"ctrpred/internal/secmem"
+	"ctrpred/internal/workload"
+)
+
+// TestFastPathMatchesReference is the equivalence suite for the batched
+// fast paths: across randomized configurations, a run on the default
+// paths — batched pad precompute, stored-pad reuse, and (in functional
+// mode) the counters-only model — must produce a Result.Snapshot
+// byte-identical to the same run forced through the retained scalar
+// reference loop (Config.Reference). The reference machine always runs
+// the full ciphertext model, so a functional-mode case here also pins
+// the counters-only model against the full one, timing and statistics
+// included.
+func TestFastPathMatchesReference(t *testing.T) {
+	benches := []string{"gzip", "mcf", "gcc", "twolf", "swim"}
+	schemes := []Scheme{
+		SchemeBaseline(),
+		SchemeOracle(),
+		SchemePred(predictor.SchemeRegular),
+		SchemePred(predictor.SchemeTwoLevel),
+		SchemePred(predictor.SchemeContext),
+		SchemeSeqCache(32 << 10),
+		SchemeCombined(64<<10, predictor.SchemeRegular),
+		SchemeDirect(),
+	}
+	r := rng.New(0x5eed_e901)
+	const cases = 10
+	for i := 0; i < cases; i++ {
+		bench := benches[r.Intn(len(benches))]
+		cfg := DefaultConfig(schemes[r.Intn(len(schemes))])
+		cfg.Scale = workload.Scale{
+			Footprint:    (256 + r.Intn(768)) << 10,
+			Instructions: uint64(100_000 + r.Intn(100_000)),
+		}
+		cfg.Seed = r.Uint64()
+		if r.Bool(0.5) {
+			cfg.Mode = HitRate
+		}
+		cfg.SelfCheck = r.Bool(0.5)
+		if r.Bool(0.25) && !cfg.Scheme.Direct {
+			cfg.Integrity = true
+		}
+		name := fmt.Sprintf("%02d-%s-%s-mode%d-sc%v-int%v",
+			i, bench, cfg.Scheme.Name, cfg.Mode, cfg.SelfCheck, cfg.Integrity)
+		t.Run(name, func(t *testing.T) { assertMatchesReference(t, bench, cfg) })
+	}
+
+	// Adversarial cases: an armed fault plan exercises the tamper,
+	// quarantine and heal paths, which must also be identical either way.
+	// Quarantine recovery lets the runs complete so full snapshots
+	// compare; integrity is on so every attack is detected.
+	kinds := []faults.Kind{faults.BitFlip, faults.Splice, faults.Rollback}
+	for i := 0; i < 4; i++ {
+		bench := benches[r.Intn(len(benches))]
+		cfg := DefaultConfig(SchemePred(predictor.SchemeRegular))
+		cfg.Scale = workload.Scale{
+			Footprint:    (256 + r.Intn(256)) << 10,
+			Instructions: uint64(100_000 + r.Intn(50_000)),
+		}
+		cfg.Seed = r.Uint64()
+		cfg.Integrity = true
+		cfg.Recovery = secmem.RecoveryQuarantine
+		kind := kinds[r.Intn(len(kinds))]
+		cfg.Faults = &faults.Plan{Attacks: []faults.Attack{
+			{Kind: kind, Trigger: faults.Trigger{Fetch: uint64(10 + r.Intn(200))}},
+		}}
+		name := fmt.Sprintf("faults-%02d-%s-%s", i, bench, kind)
+		t.Run(name, func(t *testing.T) { assertMatchesReference(t, bench, cfg) })
+	}
+}
+
+// assertMatchesReference runs cfg on the default fast paths and again
+// with Config.Reference, and requires byte-identical snapshots.
+func assertMatchesReference(t *testing.T, bench string, cfg Config) {
+	t.Helper()
+	fast, err := Run(bench, cfg)
+	if err != nil {
+		t.Fatalf("fast run: %v", err)
+	}
+	rcfg := cfg
+	rcfg.Reference = true
+	ref, err := Run(bench, rcfg)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	fastJSON, err := fast.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := ref.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fastJSON) != string(refJSON) {
+		t.Errorf("fast-path snapshot diverges from reference loop\nfast:\n%s\nreference:\n%s", fastJSON, refJSON)
+	}
+}
+
+// TestCheckpointPromptness pins the RunContext cancellation contract in
+// both modes: a context cancel is observed within one CheckInterval of
+// committed instructions, not at run granularity, and the partial
+// result reflects where the run actually stopped.
+func TestCheckpointPromptness(t *testing.T) {
+	for _, mode := range []Mode{Performance, HitRate} {
+		name := "performance"
+		if mode == HitRate {
+			name = "hitrate"
+		}
+		t.Run(name, func(t *testing.T) {
+			const interval = 10_000
+			cfg := DefaultConfig(SchemePred(predictor.SchemeRegular)).WithMode(mode)
+			cfg.Scale = workload.Scale{Footprint: 1 << 18, Instructions: 500_000}
+			cfg.CheckInterval = interval
+			m, err := NewMachine("gzip", cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var cancelAt uint64
+			m.OnProgress(func(committed uint64) {
+				// Cancel at the third checkpoint, mid-run: far from both
+				// the start and the instruction budget.
+				if committed >= 3*interval && cancelAt == 0 {
+					cancelAt = committed
+					cancel()
+				}
+			})
+			res, err := m.RunContext(ctx)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("RunContext error = %v, want context.Canceled", err)
+			}
+			stopped := res.CPU.Instructions
+			if cancelAt == 0 {
+				t.Fatal("progress callback never reached the cancel point")
+			}
+			if stopped < cancelAt {
+				t.Errorf("stopped at %d instructions, before the cancel at %d", stopped, cancelAt)
+			}
+			if stopped > cancelAt+interval {
+				t.Errorf("cancel at %d instructions observed only at %d; want within one CheckInterval (%d)",
+					cancelAt, stopped, interval)
+			}
+			if stopped >= cfg.Scale.Instructions {
+				t.Errorf("run consumed the full %d-instruction budget despite the cancel", cfg.Scale.Instructions)
+			}
+		})
+	}
+}

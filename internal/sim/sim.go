@@ -23,7 +23,6 @@ import (
 	"ctrpred/internal/mem"
 	"ctrpred/internal/memsys"
 	"ctrpred/internal/predictor"
-	"ctrpred/internal/rng"
 	"ctrpred/internal/secmem"
 	"ctrpred/internal/seqcache"
 	"ctrpred/internal/workload"
@@ -126,6 +125,15 @@ type Config struct {
 	// RetryBudget bounds quarantine re-fetch attempts (0 = secmem's
 	// DefaultRetryBudget).
 	RetryBudget int
+	// Reference routes the machine through the retained scalar paths:
+	// the crypto engine books every speculative guess one request at a
+	// time, the controller recomputes every pad instead of reusing
+	// stored material, and the counters-only model is disabled. The
+	// batched fast path is defined to be bit- and cycle-identical to
+	// this, so Reference exists as a debugging escape hatch and as the
+	// anchor the equivalence suite compares fast runs against. It has no
+	// effect on results — only on how they are computed.
+	Reference bool
 }
 
 // DefaultCheckInterval is the cancellation-checkpoint spacing used when
@@ -275,27 +283,32 @@ type Machine struct {
 // unregister.
 func (m *Machine) OnProgress(fn func(committed uint64)) { m.progress = fn }
 
-// NewMachine builds the machine and loads the named workload.
+// Close returns the machine's copy-on-write pages — the architectural
+// image view and the controller's line state — to their templates'
+// shared pools, so the next machine of the sweep reuses the memory
+// instead of allocating it. The machine must not be run or inspected
+// afterward. Optional: an unclosed machine is reclaimed by the garbage
+// collector as usual, it just recycles nothing.
+func (m *Machine) Close() {
+	m.Ctrl.Release()
+	m.Image.Release()
+}
+
+// NewMachine builds the machine and loads the named workload. The
+// seed-deterministic parts — assembled program, written image, aging
+// profile, pre-aged encrypted state — come from a process-wide template
+// cache (see template.go) and are attached copy-on-write, so building
+// the N-th machine of a sweep costs caches and predictor state, not a
+// rebuild of megabytes of identical memory contents.
 func NewMachine(bench string, cfg Config) (*Machine, error) {
-	image := mem.New()
-	wl, err := workload.Build(bench, cfg.Scale, image, cfg.Seed)
+	tmpl, err := getTemplate(bench, cfg)
 	if err != nil {
 		return nil, err
 	}
-
-	var key [32]byte
-	kr := cfg.Seed*0x9e3779b97f4a7c15 + 0x1234
-	for i := 0; i < 32; i += 8 {
-		kr ^= kr << 13
-		kr ^= kr >> 7
-		kr ^= kr << 17
-		for j := 0; j < 8; j++ {
-			key[i+j] = byte(kr >> (8 * j))
-		}
-	}
+	image := mem.NewView(tmpl.image)
 
 	d := dram.New(cfg.DRAM)
-	engine := cryptoengine.New(cfg.Engine, ctr.NewKeystream(key))
+	engine := cryptoengine.New(cfg.Engine, ctr.NewKeystream(machineKey(cfg.Seed)))
 
 	pcfg := predictor.DefaultConfig(cfg.Scheme.Pred)
 	if cfg.Scheme.PredConfig != nil {
@@ -313,10 +326,22 @@ func NewMachine(bench string, cfg Config) (*Machine, error) {
 	scfg.Oracle = cfg.Scheme.Oracle
 	scfg.Direct = cfg.Scheme.Direct
 	scfg.SelfCheck = cfg.SelfCheck
+	// Functional hit-rate runs observe only counter, predictor and cache
+	// dynamics; when nothing needs the plaintext path — no self-check, no
+	// integrity tree, no armed adversary, not direct encryption — the
+	// controller runs its counters-only model, which books identical
+	// timing and statistics without storing pads or ciphertext. This is
+	// what lets long hit-rate sweeps run in a fraction of the memory.
+	scfg.CountersOnly = cfg.Mode == HitRate && !cfg.SelfCheck &&
+		!cfg.Integrity && cfg.Faults == nil && !cfg.Scheme.Direct &&
+		!cfg.Reference
 	scfg.Scheme = cfg.Scheme.Name
 	scfg.Recovery = cfg.Recovery
 	scfg.RetryBudget = cfg.RetryBudget
 	ctrl := secmem.New(scfg, d, engine, pred, sc, image)
+	if cfg.Reference {
+		ctrl.SetReference(true)
+	}
 	if cfg.Integrity {
 		ctrl.AttachIntegrity(integrity.New(integrity.DefaultConfig(), d))
 	}
@@ -330,18 +355,38 @@ func NewMachine(bench string, cfg Config) (*Machine, error) {
 	// long fast-forward would have left in each write region, including
 	// warm two-level range state (the paper simulates the prediction
 	// mechanism during fast-forward). Direct mode has no counters to age.
+	//
+	// The common case attaches the template's pre-aged encrypted state as
+	// a copy-on-write view and only replays the per-page root draws into
+	// this machine's predictor (in template order, so the drawn values
+	// are identical to eager aging). Integrity machines build their hash
+	// tree during aging and custom predictor geometry changes which pages
+	// draw roots, so those replay the eager per-line loop from the cached
+	// sample list — byte-identical to the original sampling loop.
 	if !cfg.Scheme.Direct {
-		ager := rng.New(cfg.Seed ^ 0xa6e0a6e)
-		for _, span := range wl.Ages {
-			span.SampleAges(ager, func(lineAddr, offset uint64) {
-				ctrl.AgeLine(lineAddr, offset)
-				pred.WarmRange(lineAddr, offset)
-			})
+		if cfg.Integrity || cfg.Scheme.PredConfig != nil {
+			for _, s := range tmpl.ageList {
+				ctrl.AgeLine(s.la, s.off)
+				pred.WarmRange(s.la, s.off)
+			}
+		} else {
+			if pcfg.Scheme == predictor.SchemeTwoLevel {
+				// Warm range state first: its table walks create the
+				// counter pages in sample order, matching eager aging
+				// (where AgeLine touched each page at the same point).
+				for _, s := range tmpl.ageList {
+					pred.WarmRange(s.la, s.off)
+				}
+			}
+			for _, la := range tmpl.agePages {
+				pred.Root(la)
+			}
+			ctrl.UseAgedTemplate(tmpl.aged)
 		}
 	}
 
 	sys := memsys.New(cfg.Mem, ctrl)
-	core := cpu.New(cfg.CPU, wl.Prog, image, sys)
+	core := cpu.New(cfg.CPU, tmpl.prog, image, sys)
 	if inj != nil {
 		inj.SetInstrSource(core.Committed)
 	}
@@ -449,5 +494,6 @@ func RunContext(ctx context.Context, bench string, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer m.Close()
 	return m.RunContext(ctx)
 }

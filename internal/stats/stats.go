@@ -5,7 +5,6 @@ package stats
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -61,12 +60,74 @@ func NewHistogram(bounds ...uint64) *Histogram {
 
 // Observe records one sample.
 func (h *Histogram) Observe(v uint64) {
-	i := sort.Search(len(h.Bounds), func(i int) bool { return v <= h.Bounds[i] })
-	h.Counts[i]++
+	h.Counts[h.bucket(v)]++
 	h.Total++
 	h.Sum += v
 	if v > h.Max {
 		h.Max = v
+	}
+}
+
+// bucket returns the index of the bucket holding v. Bucket counts in
+// this codebase are single digits, so a linear scan beats sort.Search's
+// closure-per-probe on the hot paths (engine queue waits, fetch
+// latencies, hit depths).
+func (h *Histogram) bucket(v uint64) int {
+	for i, b := range h.Bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(h.Bounds)
+}
+
+// ObserveN records n identical samples in one update — the batch path
+// used by the crypto engine when it books a whole guess burst at once.
+func (h *Histogram) ObserveN(v uint64, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.Counts[h.bucket(v)] += n
+	h.Total += n
+	h.Sum += v * n
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// ObserveRange records the arithmetic run v, v+1, …, v+n-1 (n samples)
+// in one pass — the shape produced by consecutive pipeline slots, where
+// the i-th queued request waits one cycle longer than its predecessor.
+// It is equivalent to calling Observe on each value individually.
+func (h *Histogram) ObserveRange(v uint64, n uint64) {
+	if n == 0 {
+		return
+	}
+	last := v + n - 1
+	h.Total += n
+	// Sum of the run: n*v + (0+1+…+(n-1)).
+	h.Sum += v*n + n*(n-1)/2
+	if last > h.Max {
+		h.Max = last
+	}
+	// Split the run across buckets: each bucket takes the slice of the
+	// run at or below its bound.
+	lo := v
+	for i, b := range h.Bounds {
+		if lo > last {
+			return
+		}
+		if lo <= b {
+			hi := b
+			if hi > last {
+				hi = last
+			}
+			h.Counts[i] += hi - lo + 1
+			lo = hi + 1
+		}
+	}
+	if lo <= last {
+		h.Counts[len(h.Bounds)] += last - lo + 1
 	}
 }
 
