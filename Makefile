@@ -29,10 +29,13 @@ test:
 
 # The experiments race run is restricted to the tests that exercise the
 # worker pool; a full -race suite multiplies the 40 s experiment tests
-# several-fold for no extra concurrency coverage.
+# several-fold for no extra concurrency coverage. cryptoengine rides
+# along (it is cheap) so the engine-model conformance suite runs under
+# the race detector too — engine models are shared state inside every
+# concurrently-run machine of a sweep.
 race:
-	$(GO) test -race ./internal/runpool ./internal/server
-	$(GO) test -race ./internal/experiments -run 'Parallel|SweepProgress|SweepError|SweepCancel|SweepPreCancelled|SimTimeout'
+	$(GO) test -race ./internal/runpool ./internal/server ./internal/cryptoengine
+	$(GO) test -race ./internal/experiments -run 'Parallel|SweepProgress|SweepError|SweepCancel|SweepPreCancelled|SimTimeout|EnginesDeterministic'
 	$(GO) test -race ./internal/faults ./internal/secmem
 	$(GO) test -race ./internal/sim -run 'Tamper|Replay|Halt|CleanRunWithArmed|RunContextCancel'
 

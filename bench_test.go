@@ -197,6 +197,33 @@ func BenchmarkSingleRunMcfContext(b *testing.B) {
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim_instrs/s")
 }
 
+// BenchmarkSingleRunMcfEngineBipBip is BenchmarkSingleRunMcfContext on
+// the bipbip engine model: same workload and scheme, near-free
+// decryption. It prices the EngineModel interface dispatch on a
+// non-default model and tracks the alternative-engine path's throughput
+// in BENCH_sim.json.
+func BenchmarkSingleRunMcfEngineBipBip(b *testing.B) {
+	eng, err := ParseEngine("bipbip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(SchemePred(PredContext)).WithEngine(eng)
+	cfg.Scale = Scale{Footprint: 1 << 20, Instructions: 50_000}
+	if _, err := Run("mcf", cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := Run("mcf", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.CPU.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim_instrs/s")
+}
+
 // BenchmarkSingleRunMcfFaultsArmed is BenchmarkSingleRunMcfContext with
 // the fault injector armed on a trigger that never fires: it prices the
 // injector's per-fetch bookkeeping (pair capture + trigger evaluation)

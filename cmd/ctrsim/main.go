@@ -10,7 +10,9 @@
 //
 // Schemes: baseline, oracle, seqcache:<size>, pred-regular,
 // pred-twolevel, pred-context, combined:<size> (seq cache + regular
-// prediction). Sizes accept K/M suffixes.
+// prediction). Sizes accept K/M suffixes. -engine selects the cipher
+// engine timing model (aes, aes:lat=48, sealer, sealer:banks=8,
+// bipbip); see the README's engine-model table.
 //
 // Exit codes: 0 clean run, 2 usage or run error, 3 security halt.
 package main
@@ -41,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		bench   = fs.String("bench", "mcf", "benchmark to run (see -list)")
 		scheme  = fs.String("scheme", "pred-regular", "counter scheme: baseline|oracle|direct|seqcache:<size>|pred-regular|pred-twolevel|pred-context|combined:<size>")
+		engine  = fs.String("engine", "aes", "cipher engine model: aes[:lat=N,issue=N]|sealer[:banks=N,lat=N]|bipbip[:lat=N]")
 		l2      = fs.String("l2", "256K", "L2 size (256K or 1M per the paper; any power of two works)")
 		instr   = fs.Uint64("instr", 1_000_000, "instruction budget")
 		foot    = fs.String("footprint", "2M", "workload footprint")
@@ -88,6 +91,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fatal(err)
 	}
+	eng, err := ctrpred.ParseEngine(*engine)
+	if err != nil {
+		return fatal(err)
+	}
 	l2Bytes, err := ctrpred.ParseSize(*l2)
 	if err != nil {
 		return fatal(err)
@@ -98,6 +105,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := ctrpred.DefaultConfig(sch).
+		WithEngine(eng).
 		WithL2(l2Bytes).
 		WithFootprint(footBytes).
 		WithInstrBudget(*instr).

@@ -78,6 +78,29 @@ func TestUnknownModeAndSchemeFailFast(t *testing.T) {
 	}
 }
 
+// TestUnknownEngineFailsFast: a bad -engine spec exits 2 before any
+// simulation runs, and a valid non-default spec is accepted end to end.
+func TestUnknownEngineFailsFast(t *testing.T) {
+	code, stdout, stderr := cli(t, "-engine", "quantum")
+	if code != 2 || !strings.Contains(stderr, "quantum") {
+		t.Fatalf("bad -engine: exit %d, stderr %q", code, stderr)
+	}
+	if strings.Contains(stdout, "benchmark") {
+		t.Fatalf("a simulation ran despite the bad engine:\n%s", stdout)
+	}
+	if code, _, stderr := cli(t, "-engine", "sealer:warp=9"); code != 2 || !strings.Contains(stderr, "warp") {
+		t.Fatalf("bad engine parameter: exit %d, stderr %q", code, stderr)
+	}
+	code, stdout, stderr = cli(t, "-engine", "bipbip",
+		"-bench", "mcf", "-instr", "20000", "-footprint", "64K")
+	if code != 0 {
+		t.Fatalf("bipbip run: exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "IPC") {
+		t.Fatalf("bipbip run produced no report:\n%s", stdout)
+	}
+}
+
 func TestParseSize(t *testing.T) {
 	cases := map[string]int{
 		"256":  256,

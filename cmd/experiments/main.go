@@ -40,7 +40,8 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiment ids (table1, fig4, fig7..fig16, ablation, ctxswitch, integrity, hybrid, seqsweep, valuepred, attack) or 'all'")
+		exps     = flag.String("exp", "all", "comma-separated experiment ids (table1, fig4, fig7..fig16, ablation, ctxswitch, integrity, hybrid, seqsweep, valuepred, attack, engines) or 'all'")
+		engine   = flag.String("engine", "aes", "cipher engine model every simulation runs under: aes[:lat=N,issue=N]|sealer[:banks=N,lat=N]|bipbip[:lat=N] (ignored by the 'engines' experiment, which sweeps them)")
 		instr    = flag.Uint64("instr", 0, "per-run instruction budget (0 = default)")
 		foot     = flag.String("footprint", "", "workload footprint with optional K/M suffix, e.g. 8M (empty = default)")
 		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all 14)")
@@ -65,6 +66,11 @@ func main() {
 	opt.Seed = *seed
 	opt.Workers = *jobs
 	opt.SimTimeout = *timeout
+	eng, err := ctrpred.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
+	opt.Engine = eng
 	if *instr != 0 {
 		opt.Scale.Instructions = *instr
 	}

@@ -11,9 +11,11 @@
 //     precomputation — regular, adaptive (PHV root resets), two-level
 //     (range table) and context-based (LOR) predictors,
 //   - the baselines: sequence-number caches of any size and an oracle,
-//   - the substrate: a pipelined AES engine timing model, set-associative
-//     caches, TLBs, an SDRAM bank/bus model, an out-of-order core running
-//     a small RISC ISA, and fourteen SPEC2000-like workload kernels,
+//   - the substrate: pluggable cipher-engine timing models (the paper's
+//     pipelined AES plus banked in-SRAM and low-latency designs),
+//     set-associative caches, TLBs, an SDRAM bank/bus model, an
+//     out-of-order core running a small RISC ISA, and fourteen
+//     SPEC2000-like workload kernels,
 //   - an experiment harness that regenerates every table and figure of
 //     the paper's evaluation.
 //
@@ -35,6 +37,7 @@ package ctrpred
 import (
 	"context"
 
+	"ctrpred/internal/cryptoengine"
 	"ctrpred/internal/experiments"
 	"ctrpred/internal/faults"
 	"ctrpred/internal/predictor"
@@ -104,6 +107,16 @@ type (
 	FaultKind = faults.Kind
 	// FaultStats is the injector's per-class injection/detection ledger.
 	FaultStats = faults.Stats
+	// EngineModel is the timing contract a cipher-engine model satisfies;
+	// Config.Engine selects one by spec and Machine.Engine exposes the
+	// built instance.
+	EngineModel = cryptoengine.EngineModel
+	// EngineSpec names a cipher-engine model plus its timing parameters
+	// ("aes", "sealer", "bipbip" with lat/issue/banks knobs). The zero
+	// value is the paper's default pipelined AES.
+	EngineSpec = cryptoengine.Spec
+	// EngineStats is the engine-activity ledger a Result carries.
+	EngineStats = cryptoengine.Stats
 )
 
 // Sentinel errors for errors.Is dispatch. Run and RunExperiment wrap
@@ -116,6 +129,9 @@ var (
 	ErrUnknownExperiment = experiments.ErrUnknownExperiment
 	// ErrUnknownScheme reports a scheme string ParseScheme cannot parse.
 	ErrUnknownScheme = sim.ErrUnknownScheme
+	// ErrUnknownEngine reports an engine spec naming no known cipher-
+	// engine model (ParseEngine and Run/NewMachine wrap it).
+	ErrUnknownEngine = cryptoengine.ErrUnknownEngine
 	// ErrTamperDetected reports integrity verification failing on a
 	// fetched line (every *SecurityError of kind tamper wraps it).
 	ErrTamperDetected = secmem.ErrTamperDetected
@@ -224,6 +240,16 @@ func RunContext(ctx context.Context, bench string, cfg Config) (Result, error) {
 // "combined:<size>"); unknown strings wrap ErrUnknownScheme.
 func ParseScheme(s string) (Scheme, error) { return sim.ParseScheme(s) }
 
+// ParseEngine parses a cipher-engine spec ("aes", "aes:lat=48",
+// "sealer", "sealer:banks=8", "bipbip", …); the empty string is the
+// default pipelined AES, and unknown model names wrap ErrUnknownEngine.
+// Apply the result with Config.WithEngine.
+func ParseEngine(s string) (EngineSpec, error) { return cryptoengine.ParseEngine(s) }
+
+// DefaultEngineSpec returns the paper's Table 1 engine: fully pipelined
+// AES, 96-cycle latency, one pad request per cycle.
+func DefaultEngineSpec() EngineSpec { return cryptoengine.DefaultSpec() }
+
 // ParseSize parses a capacity with an optional K/M suffix ("32K", "1M").
 func ParseSize(s string) (int, error) { return sim.ParseSize(s) }
 
@@ -260,8 +286,9 @@ func DefaultOptions() ExperimentOptions { return experiments.DefaultOptions() }
 // RunExperiment regenerates one of the paper's tables or figures by id
 // ("table1", "fig4", "fig7" … "fig16", "ablation"), or one of the
 // extension studies ("ctxswitch", "integrity", "hybrid", "seqsweep",
-// "valuepred"). Each simulation of the figure's benchmark × scheme grid
-// is independent, so they run concurrently across opt.Workers workers;
+// "valuepred", "attack", "engines"). Each simulation of the figure's
+// benchmark × scheme grid is independent, so they run concurrently
+// across opt.Workers workers;
 // results are assembled in input order, making the output byte-identical
 // for any worker count at a given seed.
 func RunExperiment(id string, opt ExperimentOptions) (ExperimentResult, error) {

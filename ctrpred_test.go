@@ -68,7 +68,7 @@ func TestFacadeExperiment(t *testing.T) {
 	if _, err := RunExperiment("bogus", opt); err == nil {
 		t.Fatal("bogus experiment id accepted")
 	}
-	if len(ExperimentIDs()) != 19 {
+	if len(ExperimentIDs()) != 20 {
 		t.Fatalf("ExperimentIDs() = %d", len(ExperimentIDs()))
 	}
 }
@@ -82,6 +82,14 @@ func TestFacadeSentinels(t *testing.T) {
 	}
 	if _, err := ParseScheme("frob"); !errors.Is(err, ErrUnknownScheme) {
 		t.Fatalf("ParseScheme(frob) = %v, want errors.Is(err, ErrUnknownScheme)", err)
+	}
+	if _, err := ParseEngine("quantum"); !errors.Is(err, ErrUnknownEngine) {
+		t.Fatalf("ParseEngine(quantum) = %v, want errors.Is(err, ErrUnknownEngine)", err)
+	}
+	cfg := quickConfig(SchemeBaseline())
+	cfg.Engine = EngineSpec{Model: "quantum"}
+	if _, err := Run("mcf", cfg); !errors.Is(err, ErrUnknownEngine) {
+		t.Fatalf("Run with unknown engine = %v, want errors.Is(err, ErrUnknownEngine)", err)
 	}
 }
 

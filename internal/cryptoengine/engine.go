@@ -70,6 +70,15 @@ type Stats struct {
 	// issue slot — the observable face of pipeline occupancy: a busy
 	// pipe (e.g. an over-aggressive predictor) shows up as a heavy tail.
 	QueueWait *stats.Histogram
+	// Model is the engine model that produced these stats ("" and "aes"
+	// both mean the default pipelined AES).
+	Model string
+	// Banks is the sealer's bank count (0 for other models).
+	Banks int
+	// Bypassed counts requests a model accepted but never occupied a
+	// unit for — bipbip's speculative pads, which its decrypt-on-fetch
+	// design makes free. Always 0 for aes and sealer.
+	Bypassed uint64
 }
 
 // IssuedTotal returns the total number of issued requests.
@@ -82,6 +91,9 @@ func (s *Stats) IssuedTotal() uint64 {
 }
 
 // AddTo registers the engine's statistics into a metrics snapshot node.
+// The default AES model emits exactly the historical counter set, so
+// golden fixtures recorded before engine models existed stay
+// byte-identical; non-default models add their identifying counters.
 func (s *Stats) AddTo(n *stats.Snapshot) {
 	for c := Class(0); c < numClasses; c++ {
 		n.Counter("issued_"+c.String(), s.Issued[c])
@@ -90,6 +102,15 @@ func (s *Stats) AddTo(n *stats.Snapshot) {
 	n.Counter("stall_cycles", s.StallCycles)
 	n.Counter("last_busy", s.LastBusy)
 	n.Histogram("queue_wait", s.QueueWait)
+	if s.Model != "" && s.Model != ModelAES {
+		n.Label("model", s.Model)
+		if s.Banks > 0 {
+			n.Counter("banks", uint64(s.Banks))
+		}
+		if s.Model == ModelBipBip {
+			n.Counter("bypassed", s.Bypassed)
+		}
+	}
 }
 
 // Engine is the pipelined AES pad engine.
@@ -117,11 +138,20 @@ func New(cfg Config, ks *ctr.Keystream) *Engine {
 	}
 	e := &Engine{cfg: cfg, ks: ks}
 	e.stats.QueueWait = stats.NewHistogram(0, 1, 2, 4, 8, 16, 32, 64, 128)
+	e.stats.Model = ModelAES
 	return e
 }
 
+// Engine is the default EngineModel.
+var _ EngineModel = (*Engine)(nil)
+
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// Spec returns the canonical spec describing this engine's timing.
+func (e *Engine) Spec() Spec {
+	return Spec{Model: ModelAES, LatencyCycles: e.cfg.LatencyCycles, IssuePerCycle: e.cfg.IssuePerCycle}.Normalized()
+}
 
 // Stats returns a copy of the accumulated statistics.
 func (e *Engine) Stats() Stats { return e.stats }

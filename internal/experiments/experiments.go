@@ -19,6 +19,7 @@ import (
 	"sort"
 	"time"
 
+	"ctrpred/internal/cryptoengine"
 	"ctrpred/internal/predictor"
 	"ctrpred/internal/runpool"
 	"ctrpred/internal/sim"
@@ -51,6 +52,10 @@ type Options struct {
 	// cell that exceeds it fails with context.DeadlineExceeded without
 	// cancelling the rest of the sweep's context.
 	SimTimeout time.Duration
+	// Engine selects the cipher-engine timing model every simulation of
+	// the experiment runs under (zero value: the default pipelined AES).
+	// The "engines" experiment ignores it — sweeping engines is its job.
+	Engine cryptoengine.Spec
 }
 
 // DefaultOptions runs every benchmark at a budget that completes each
@@ -248,7 +253,7 @@ func hitRateConfig(opt Options, scheme sim.Scheme, l2 int) sim.Config {
 	// cadence proportional to the scaled window (the paper flushes every
 	// 25M cycles within 8B-instruction runs ≈ every 0.3% of the run).
 	cfg.Mem.FlushInterval = cfg.Scale.Instructions / 20
-	return cfg
+	return cfg.WithEngine(opt.Engine)
 }
 
 // perfConfig builds a Performance-mode config.
@@ -257,7 +262,7 @@ func perfConfig(opt Options, scheme sim.Scheme, l2 int) sim.Config {
 	cfg.Scale = opt.Scale
 	cfg.Seed = opt.Seed
 	cfg.Mem.FlushInterval = opt.Scale.Instructions / 10
-	return cfg
+	return cfg.WithEngine(opt.Engine)
 }
 
 // hitRateFigure produces Figures 7/8: seq-cache hit rate vs prediction
@@ -530,13 +535,16 @@ func ByID(ctx context.Context, id string, opt Options) (Result, error) {
 		return ValuePrediction(ctx, opt)
 	case "attack":
 		return AttackCampaign(ctx, opt)
+	case "engines":
+		return Engines(ctx, opt)
 	}
-	return Result{}, fmt.Errorf("experiments: %w %q (want table1, fig4, fig7..fig16, ablation, ctxswitch, integrity, hybrid, seqsweep, valuepred, attack)", ErrUnknownExperiment, id)
+	return Result{}, fmt.Errorf("experiments: %w %q (want table1, fig4, fig7..fig16, ablation, ctxswitch, integrity, hybrid, seqsweep, valuepred, attack, engines)", ErrUnknownExperiment, id)
 }
 
 // IDs lists every experiment identifier in paper order.
 func IDs() []string {
 	return []string{"table1", "fig4", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "ablation",
-		"ctxswitch", "integrity", "hybrid", "seqsweep", "valuepred", "attack"}
+		"ctxswitch", "integrity", "hybrid", "seqsweep", "valuepred", "attack",
+		"engines"}
 }

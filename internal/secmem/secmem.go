@@ -149,7 +149,7 @@ type Controller struct {
 	cfg     Config
 	dram    *dram.DRAM
 	seqDRAM *dram.DRAM // counter-table channel (== dram when shared)
-	engine  *cryptoengine.Engine
+	engine  cryptoengine.EngineModel
 	pred    *predictor.Predictor
 	scache  *seqcache.Cache // nil when the design has no seq cache
 	image   *mem.Memory     // architectural plaintext
@@ -188,6 +188,13 @@ type Controller struct {
 	// reference selects the retained one-request-at-a-time engine loop
 	// and disables the stored-pad shortcut (see SetReference).
 	reference bool
+
+	// fetchPad is FetchLine's pad scratch. With the engine behind the
+	// EngineModel interface, a function-local pad passed to ComputeInto
+	// is opaque to escape analysis and would heap-allocate on every
+	// miss; the controller is single-threaded per machine, so one
+	// reusable buffer restores the zero-allocation fetch path.
+	fetchPad ctr.Pad
 }
 
 // ctrState is the hot half of one protected line's off-chip state: what
@@ -224,7 +231,7 @@ type padState struct {
 // New wires a controller. pred must be non-nil (use predictor.SchemeNone
 // for designs without prediction — the predictor still owns per-page roots
 // and counter assignment). sc may be nil.
-func New(cfg Config, d *dram.DRAM, e *cryptoengine.Engine, pred *predictor.Predictor, sc *seqcache.Cache, image *mem.Memory) *Controller {
+func New(cfg Config, d *dram.DRAM, e cryptoengine.EngineModel, pred *predictor.Predictor, sc *seqcache.Cache, image *mem.Memory) *Controller {
 	if pred == nil {
 		panic("secmem: predictor must not be nil")
 	}
@@ -719,8 +726,8 @@ func (c *Controller) FetchLine(now uint64, vaddr uint64) FetchResult {
 	// of its current counter — set at pre-aging, materialization,
 	// writeback or heal — the fetch books its pipeline slots normally
 	// but reuses the stored bits instead of re-running AES.
-	var pad ctr.Pad
-	padp := &pad
+	pad := &c.fetchPad
+	padp := pad
 	var padReady uint64
 	predicted := false
 	var cached *ctr.Pad
@@ -750,7 +757,7 @@ func (c *Controller) FetchLine(now uint64, vaddr uint64) FetchResult {
 						padp = cached
 					}
 				} else {
-					matchIdx, padReady = c.engine.ComputeGuessesInto(&pad, now, la, guesses, trueSeq)
+					matchIdx, padReady = c.engine.ComputeGuessesInto(pad, now, la, guesses, trueSeq)
 				}
 				predicted = matchIdx >= 0
 			}
@@ -781,8 +788,8 @@ func (c *Controller) FetchLine(now uint64, vaddr uint64) FetchResult {
 			padReady = c.engine.ScheduleOnly(res.SeqDone, cryptoengine.ClassDemand)
 			padp = cached
 		} else {
-			padReady = c.engine.ComputeInto(&pad, res.SeqDone, la, trueSeq, cryptoengine.ClassDemand)
-			padp = &pad
+			padReady = c.engine.ComputeInto(pad, res.SeqDone, la, trueSeq, cryptoengine.ClassDemand)
+			padp = pad
 		}
 	}
 	// Decrypt once both ciphertext and pad are in hand (+1 cycle XOR).

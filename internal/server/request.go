@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"ctrpred/internal/cryptoengine"
 	"ctrpred/internal/experiments"
 	"ctrpred/internal/faults"
 	"ctrpred/internal/secmem"
@@ -23,6 +24,10 @@ type SimRequest struct {
 	// Scheme is the counter-availability scheme spec, in ParseScheme
 	// syntax ("baseline", "pred-context", "seqcache:128K", …). Required.
 	Scheme string `json:"scheme"`
+	// Engine is the cipher-engine model spec, in ParseEngine syntax
+	// ("aes", "aes:lat=48", "sealer:banks=8", "bipbip", …). Empty means
+	// the default pipelined AES. Unknown models fail with 422.
+	Engine string `json:"engine,omitempty"`
 	// L2 and Footprint are sizes with optional K/M suffixes.
 	L2        string `json:"l2,omitempty"`
 	Footprint string `json:"footprint,omitempty"`
@@ -72,6 +77,13 @@ func (r SimRequest) buildSim() (string, sim.Config, error) {
 		return "", zero, err
 	}
 	cfg := sim.DefaultConfig(sch)
+	if r.Engine != "" {
+		eng, err := cryptoengine.ParseEngine(r.Engine)
+		if err != nil {
+			return "", zero, err
+		}
+		cfg = cfg.WithEngine(eng)
+	}
 	if r.L2 != "" {
 		n, err := sim.ParseSize(r.L2)
 		if err != nil {
@@ -140,6 +152,10 @@ type ExperimentRequest struct {
 	// capped at the server's worker count). Results are byte-identical
 	// for any value.
 	Workers int `json:"workers,omitempty"`
+	// Engine is the cipher-engine model spec every simulation of the
+	// grid runs under, in ParseEngine syntax (empty = default AES;
+	// ignored by the "engines" experiment, which sweeps models itself).
+	Engine string `json:"engine,omitempty"`
 	// SimTimeout bounds each grid cell (Go duration string).
 	SimTimeout string `json:"sim_timeout,omitempty"`
 	// Timeout bounds the whole job.
@@ -189,6 +205,13 @@ func (r ExperimentRequest) buildExperiment(maxWorkers int) (experiments.Options,
 	if r.Seed != 0 {
 		opt.Seed = r.Seed
 	}
+	if r.Engine != "" {
+		eng, err := cryptoengine.ParseEngine(r.Engine)
+		if err != nil {
+			return zero, err
+		}
+		opt.Engine = eng
+	}
 	// One experiment occupies one queue slot; its internal parallelism
 	// defaults to a single worker so a grid cannot monopolize the host
 	// unless the operator sized the server for it.
@@ -234,12 +257,25 @@ func (r ExperimentRequest) key(maxWorkers int) (string, error) {
 		Instructions uint64
 		Footprint    int
 		Seed         uint64
-	}{"experiment", r.ID, opt.Benchmarks, opt.Scale.Instructions, opt.Scale.Footprint, opt.Seed}
+		Engine       string `json:",omitempty"`
+	}{"experiment", r.ID, opt.Benchmarks, opt.Scale.Instructions, opt.Scale.Footprint, opt.Seed, engineKey(opt.Engine)}
 	b, err := json.Marshal(payload)
 	if err != nil {
 		return "", err
 	}
 	return fmt.Sprintf("%x", sha256.Sum256(b)), nil
+}
+
+// engineKey canonicalizes an engine spec for cache hashing: the default
+// AES engine renders as "" so requests that omit the field and requests
+// that spell the default explicitly share one cache entry, while every
+// other spec contributes its canonical string.
+func engineKey(s cryptoengine.Spec) string {
+	n := s.Normalized()
+	if n == cryptoengine.DefaultSpec() {
+		return ""
+	}
+	return n.String()
 }
 
 // parseTimeout resolves a request's job deadline against the server

@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ctrpred/internal/cryptoengine"
 	"ctrpred/internal/experiments"
 	"ctrpred/internal/runpool"
 	"ctrpred/internal/secmem"
@@ -254,6 +255,16 @@ func classify(err error) (code string, status int) {
 	}
 }
 
+// buildStatus maps a request-build error to its HTTP status: a
+// well-formed request naming an unknown engine model is semantically
+// unprocessable (422), everything else is a plain bad request (400).
+func buildStatus(err error) int {
+	if errors.Is(err, cryptoengine.ErrUnknownEngine) {
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusBadRequest
+}
+
 func errEvent(err error) Event {
 	code, status := classify(err)
 	return Event{Event: "error", Error: err.Error(), Code: code, status: status}
@@ -267,7 +278,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	}
 	bench, cfg, err := req.buildSim()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, buildStatus(err), err)
 		return
 	}
 	timeout, err := parseTimeout(req.Timeout, s.cfg.DefaultTimeout)
@@ -293,7 +304,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 	opt, err := req.buildExperiment(s.cfg.Workers)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, buildStatus(err), err)
 		return
 	}
 	timeout, err := parseTimeout(req.Timeout, s.cfg.DefaultTimeout)

@@ -560,3 +560,96 @@ func TestJobTimeoutMapsTo504(t *testing.T) {
 		t.Fatalf("timeout body = %s, want error event with code timeout", body)
 	}
 }
+
+// TestEngineSpecSeparatesCache is the PR's cache-collision regression
+// test: two requests differing only in their engine spec must produce
+// distinct result keys and distinct cached bodies — before the engine
+// spec entered sim.Fingerprint, the second request would have been
+// served the first engine's bytes as a cache hit.
+func TestEngineSpecSeparatesCache(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+
+	aes := smallReq() // engine "" = default pipelined AES
+	bip := smallReq()
+	bip.Engine = "bipbip"
+
+	respA := postJSON(t, ts.URL+"/v1/sim", aes)
+	if respA.StatusCode != http.StatusOK {
+		t.Fatalf("aes status = %d, body %s", respA.StatusCode, readBody(t, respA))
+	}
+	keyA := respA.Header.Get("X-Result-Key")
+	bodyA := readBody(t, respA)
+
+	simsBefore, _ := s.Snapshot().CounterValue("sims_run")
+	respB := postJSON(t, ts.URL+"/v1/sim", bip)
+	if respB.StatusCode != http.StatusOK {
+		t.Fatalf("bipbip status = %d, body %s", respB.StatusCode, readBody(t, respB))
+	}
+	if got := respB.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("bipbip request X-Cache = %q, want miss (engine spec must separate cache keys)", got)
+	}
+	keyB := respB.Header.Get("X-Result-Key")
+	bodyB := readBody(t, respB)
+	if keyA == keyB {
+		t.Fatalf("engine specs share result key %s", keyA)
+	}
+	if bytes.Equal(bodyA, bodyB) {
+		t.Fatal("aes and bipbip runs returned identical snapshots")
+	}
+	if simsAfter, _ := s.Snapshot().CounterValue("sims_run"); simsAfter != simsBefore+1 {
+		t.Fatalf("bipbip request did not simulate: sims_run %d -> %d", simsBefore, simsAfter)
+	}
+
+	// Both results stay fetchable by key, each serving its own bytes.
+	for _, c := range []struct {
+		key  string
+		want []byte
+	}{{keyA, bodyA}, {keyB, bodyB}} {
+		get, err := http.Get(ts.URL + "/v1/results/" + c.key)
+		if err != nil {
+			t.Fatalf("GET result: %v", err)
+		}
+		if get.StatusCode != http.StatusOK || !bytes.Equal(readBody(t, get), c.want) {
+			t.Fatalf("GET /v1/results/%s: status %d or body mismatch", c.key, get.StatusCode)
+		}
+	}
+
+	// An explicit default-AES spec is the same run as the omitted field:
+	// cache hit, no new simulation.
+	explicit := smallReq()
+	explicit.Engine = "aes"
+	respC := postJSON(t, ts.URL+"/v1/sim", explicit)
+	readBody(t, respC)
+	if got := respC.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("explicit aes X-Cache = %q, want hit (default spec must normalize)", got)
+	}
+}
+
+// TestUnknownEngine422: a well-formed request naming an unknown engine
+// model is rejected as unprocessable (422) before any simulation runs,
+// on both job endpoints.
+func TestUnknownEngine422(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name string
+		url  string
+		body any
+	}{
+		{"sim", "/v1/sim", SimRequest{Bench: "mcf", Scheme: "baseline", Engine: "quantum"}},
+		{"experiment", "/v1/experiments", ExperimentRequest{ID: "fig7", Engine: "quantum"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postJSON(t, ts.URL+tc.url, tc.body)
+			body := readBody(t, resp)
+			if resp.StatusCode != http.StatusUnprocessableEntity {
+				t.Fatalf("status = %d (body %s), want 422", resp.StatusCode, body)
+			}
+		})
+	}
+	// A malformed parameter on a known engine stays a plain 400.
+	resp := postJSON(t, ts.URL+"/v1/sim", SimRequest{Bench: "mcf", Scheme: "baseline", Engine: "aes:banks=4"})
+	if body := readBody(t, resp); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad-parameter status = %d (body %s), want 400", resp.StatusCode, body)
+	}
+}

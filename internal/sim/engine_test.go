@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"ctrpred/internal/cryptoengine"
+	"ctrpred/internal/predictor"
+)
+
+// TestEngineModelsRunClean: every engine model decrypts correctly end to
+// end (the self-check is on in testConfig), because pad bits come from
+// the shared keystream regardless of the timing model.
+func TestEngineModelsRunClean(t *testing.T) {
+	for _, spec := range []string{"aes:lat=24", "sealer", "sealer:banks=2,lat=64", "bipbip"} {
+		eng, err := cryptoengine.ParseEngine(spec)
+		if err != nil {
+			t.Fatalf("ParseEngine(%q): %v", spec, err)
+		}
+		res, err := Run("mcf", testConfig(SchemePred(predictor.SchemeContext)).WithEngine(eng))
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if res.CPU.Instructions == 0 || res.Ctrl.Fetches == 0 {
+			t.Fatalf("%s: ran nothing", spec)
+		}
+		if res.PadViolations != 0 || res.Ctrl.SelfCheckFails != 0 {
+			t.Fatalf("%s: decryption broke (%d pad violations, %d self-check fails)",
+				spec, res.PadViolations, res.Ctrl.SelfCheckFails)
+		}
+		if res.Engine.Model != eng.Model {
+			t.Fatalf("%s: result carries engine model %q", spec, res.Engine.Model)
+		}
+	}
+}
+
+// TestEngineLatencyOrdersCycles: on the same workload and scheme, a
+// near-free cipher must finish in fewer cycles than the default AES
+// pipe, which must beat a doubled-latency pipe — the monotonicity the
+// engines experiment's latency ladder rests on.
+func TestEngineLatencyOrdersCycles(t *testing.T) {
+	cycles := func(spec string) uint64 {
+		t.Helper()
+		eng, err := cryptoengine.ParseEngine(spec)
+		if err != nil {
+			t.Fatalf("ParseEngine(%q): %v", spec, err)
+		}
+		res, err := Run("mcf", testConfig(SchemeBaseline()).WithEngine(eng))
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		return res.CPU.Cycles
+	}
+	fast, def, slow := cycles("bipbip"), cycles("aes"), cycles("aes:lat=192")
+	if !(fast < def && def < slow) {
+		t.Fatalf("cycle counts not ordered by engine latency: bipbip %d, aes %d, aes:lat=192 %d", fast, def, slow)
+	}
+}
+
+// TestNewMachineRejectsUnknownEngine: a config naming no known model
+// fails construction with the sentinel, before any simulation state is
+// built.
+func TestNewMachineRejectsUnknownEngine(t *testing.T) {
+	cfg := testConfig(SchemeBaseline())
+	cfg.Engine = cryptoengine.Spec{Model: "quantum"}
+	if _, err := NewMachine("mcf", cfg); !errors.Is(err, cryptoengine.ErrUnknownEngine) {
+		t.Fatalf("NewMachine = %v, want errors.Is(err, cryptoengine.ErrUnknownEngine)", err)
+	}
+}

@@ -14,9 +14,15 @@ import (
 //
 // Fields that cannot affect results are normalized out before hashing:
 // CheckInterval only paces cancellation polling, so two requests that
-// differ in nothing else collapse onto one cache entry.
+// differ in nothing else collapse onto one cache entry. The engine spec
+// is normalized the other way — the zero Spec and an explicit default
+// AES spec describe the same machine and must collide, while any spec
+// with different timing must hash differently (engine timing changes
+// every performance statistic, so colliding specs would let the result
+// cache serve the wrong bytes).
 func Fingerprint(bench string, cfg Config) string {
 	cfg.CheckInterval = 0
+	cfg.Engine = cfg.Engine.Normalized()
 	payload := struct {
 		Bench  string
 		Config Config

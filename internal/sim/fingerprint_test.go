@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"ctrpred/internal/cryptoengine"
 	"ctrpred/internal/faults"
 	"ctrpred/internal/predictor"
 )
@@ -32,6 +33,12 @@ func TestFingerprintSeparatesRuns(t *testing.T) {
 		"mode":      Fingerprint("mcf", base.WithMode(HitRate)),
 		"integrity": Fingerprint("mcf", base.WithIntegrity()),
 		"recovery":  Fingerprint("mcf", base.WithRecovery(1)),
+		"engine-lat": Fingerprint("mcf", base.WithEngine(
+			cryptoengine.Spec{Model: cryptoengine.ModelAES, LatencyCycles: 48})),
+		"engine-sealer": Fingerprint("mcf", base.WithEngine(
+			cryptoengine.Spec{Model: cryptoengine.ModelSealer})),
+		"engine-bipbip": Fingerprint("mcf", base.WithEngine(
+			cryptoengine.Spec{Model: cryptoengine.ModelBipBip})),
 		"faults": Fingerprint("mcf", base.WithFaults(&faults.Plan{
 			Attacks: []faults.Attack{{Kind: faults.BitFlip, Trigger: faults.Trigger{Fetch: 5}}},
 		})),
@@ -42,6 +49,23 @@ func TestFingerprintSeparatesRuns(t *testing.T) {
 			t.Errorf("%s collided with %s: %s", name, prev, h)
 		}
 		seen[h] = name
+	}
+}
+
+// TestFingerprintNormalizesEngine: the zero engine spec and the spelled-
+// out default describe the same machine, so they must share a cache key
+// — while any timing difference must separate (the pre-engine-spec bug
+// was the stronger failure: all engines collided, so the result cache
+// could serve one engine's bytes for another's request).
+func TestFingerprintNormalizesEngine(t *testing.T) {
+	cfg := DefaultConfig(SchemeBaseline())
+	var zero cryptoengine.Spec
+	a := Fingerprint("mcf", cfg.WithEngine(zero))
+	b := Fingerprint("mcf", cfg.WithEngine(cryptoengine.DefaultSpec()))
+	cfg.Engine = cryptoengine.Spec{Model: cryptoengine.ModelAES} // un-normalized, direct assignment
+	c := Fingerprint("mcf", cfg)
+	if a != b || b != c {
+		t.Fatalf("equivalent default-engine specs hashed apart: %s / %s / %s", a, b, c)
 	}
 }
 

@@ -95,7 +95,10 @@ type Config struct {
 	CPU    cpu.Config
 	Mem    memsys.Config
 	DRAM   dram.Config
-	Engine cryptoengine.Config
+	// Engine selects the cipher-engine timing model (see
+	// cryptoengine.ParseEngine). The zero Spec is the default pipelined
+	// AES, so configs predating engine models keep their meaning.
+	Engine cryptoengine.Spec
 	Scheme Scheme
 	Scale  workload.Scale
 	Mode   Mode
@@ -149,7 +152,7 @@ func DefaultConfig(s Scheme) Config {
 		CPU:       cpu.DefaultConfig(),
 		Mem:       memsys.DefaultConfig(),
 		DRAM:      dram.DefaultConfig(),
-		Engine:    cryptoengine.DefaultConfig(),
+		Engine:    cryptoengine.DefaultSpec(),
 		Scheme:    s,
 		Scale:     workload.DefaultScale(),
 		Mode:      Performance,
@@ -211,6 +214,13 @@ func (c Config) WithRecovery(p secmem.RecoveryPolicy) Config {
 	return c
 }
 
+// WithEngine returns the config with the given cipher-engine model.
+// The spec is normalized so equivalent specs fingerprint identically.
+func (c Config) WithEngine(s cryptoengine.Spec) Config {
+	c.Engine = s.Normalized()
+	return c
+}
+
 // Result carries everything a run produced.
 type Result struct {
 	Benchmark string
@@ -264,7 +274,7 @@ type Machine struct {
 	Ctrl      *secmem.Controller
 	Pred      *predictor.Predictor
 	SCache    *seqcache.Cache
-	Engine    *cryptoengine.Engine
+	Engine    cryptoengine.EngineModel
 	DRAM      *dram.DRAM
 	// Faults is the armed adversary, or nil for clean memory.
 	Faults *faults.Injector
@@ -308,7 +318,10 @@ func NewMachine(bench string, cfg Config) (*Machine, error) {
 	image := mem.NewView(tmpl.image)
 
 	d := dram.New(cfg.DRAM)
-	engine := cryptoengine.New(cfg.Engine, ctr.NewKeystream(machineKey(cfg.Seed)))
+	engine, err := cryptoengine.NewModel(cfg.Engine, ctr.NewKeystream(machineKey(cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
 
 	pcfg := predictor.DefaultConfig(cfg.Scheme.Pred)
 	if cfg.Scheme.PredConfig != nil {
