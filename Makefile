@@ -16,7 +16,7 @@ GO ?= go
 BENCH_LABEL ?= local
 BENCH_FLAGS ?=
 
-.PHONY: build vet test race fuzz smoke verify bench
+.PHONY: build vet test race fuzz smoke loadtest-smoke loadtest verify bench
 
 build:
 	$(GO) build ./...
@@ -34,7 +34,7 @@ test:
 # the race detector too — engine models are shared state inside every
 # concurrently-run machine of a sweep.
 race:
-	$(GO) test -race ./internal/runpool ./internal/server ./internal/cryptoengine
+	$(GO) test -race ./internal/runpool ./internal/server ./internal/cryptoengine ./internal/cluster
 	$(GO) test -race ./internal/experiments -run 'Parallel|SweepProgress|SweepError|SweepCancel|SweepPreCancelled|SimTimeout|EnginesDeterministic'
 	$(GO) test -race ./internal/faults ./internal/secmem
 	$(GO) test -race ./internal/sim -run 'Tamper|Replay|Halt|CleanRunWithArmed|RunContextCancel'
@@ -45,6 +45,19 @@ race:
 smoke:
 	$(GO) run ./cmd/ctrpredd -smoke -workers 2
 
+# Boot a 2-worker cluster behind a coordinator in-process, drive it
+# with concurrent streaming clients through cold/warm/verify phases,
+# and assert byte-identity with single-node plus a >=95% warm-cache
+# ratio. The cluster-mode analogue of the daemon smoke above.
+loadtest-smoke:
+	$(GO) run ./cmd/loadtest -smoke
+
+# The full cluster load report (1/2/4 workers), appended to the ledger.
+loadtest:
+	$(GO) run ./cmd/loadtest -nodes 1,2,4 -requests 8 -seeds 8 -clients 8 -bench \
+		| grep '^Benchmark' \
+		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' $(BENCH_FLAGS) -o BENCH_sim.json
+
 # Short coverage-guided smoke of the integrity tree's update/verify/
 # corrupt interleavings; the committed seed corpus under
 # internal/integrity/testdata runs as regression tests in plain
@@ -52,7 +65,7 @@ smoke:
 fuzz:
 	$(GO) test ./internal/integrity -run '^$$' -fuzz FuzzIntegrityTree -fuzztime 30s
 
-verify: build vet test race fuzz smoke
+verify: build vet test race fuzz smoke loadtest-smoke
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . \

@@ -8,6 +8,20 @@
 //	ctrpredd -addr localhost:8844 -workers 4 -queue 8
 //	ctrpredd -smoke            # boot, self-test one job over HTTP, exit
 //
+// Cluster mode (see internal/cluster): a coordinator fronts any number
+// of plain ctrpredd workers behind the identical API, splitting
+// experiment grids across them and routing every job to the worker
+// whose cache owns its content address:
+//
+//	ctrpredd -addr :8845                        # worker A
+//	ctrpredd -addr :8846                        # worker B
+//	ctrpredd -coordinator -addr :8844 \
+//	         -workers http://localhost:8845,http://localhost:8846
+//
+// Workers can also announce themselves to a running coordinator:
+//
+//	ctrpredd -addr :8847 -join http://localhost:8844
+//
 // A first session:
 //
 //	curl -s localhost:8844/v1/benchmarks | jq '.[].name'
@@ -22,6 +36,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -31,10 +46,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"ctrpred/internal/cluster"
 	"ctrpred/internal/server"
 )
 
@@ -47,19 +64,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		addr    = fs.String("addr", "localhost:8844", "listen address")
-		workers = fs.Int("workers", 0, "concurrent jobs (0 = one per CPU)")
+		workers = fs.String("workers", "", "concurrent jobs (number, empty/0 = one per CPU); with -coordinator: comma-separated worker base URLs")
 		queue   = fs.Int("queue", 0, "jobs queued beyond the running ones (0 = 2x workers, -1 = none); a full queue answers 429")
 		cache   = fs.Int("cache", 256, "result-cache entries (-1 disables caching)")
 		timeout = fs.Duration("timeout", 0, "default per-job deadline for requests that carry none (0 = unbounded)")
 		drain   = fs.Duration("drain", 5*time.Second, "graceful-shutdown window before running jobs are cancelled")
 		pprofF  = fs.Bool("pprof", false, "expose /debug/pprof")
 		smoke   = fs.Bool("smoke", false, "boot on an ephemeral port, push one job through the full HTTP path, verify the result and the cache, then exit")
+
+		coord     = fs.Bool("coordinator", false, "serve as a cluster coordinator over the -workers URLs instead of simulating locally")
+		join      = fs.String("join", "", "coordinator base URL to register this worker with at startup")
+		advertise = fs.String("advertise", "", "base URL this worker is reachable at, for -join (default http://<listen addr>)")
+		fanout    = fs.Int("fanout", 0, "coordinator: max in-flight experiment cells (0 = 2 per worker)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	if *coord {
+		if *smoke {
+			fmt.Fprintln(stderr, "ctrpredd: -coordinator has no -smoke; use cmd/loadtest -smoke for the cluster self-test")
+			return 2
+		}
+		urls := splitURLs(*workers)
+		c := cluster.New(cluster.Config{
+			Workers:      urls,
+			Fanout:       *fanout,
+			Backlog:      *queue,
+			CacheEntries: *cache,
+			DrainTimeout: *drain,
+		})
+		fmt.Fprintf(stdout, "ctrpredd coordinator over %d worker(s)\n", len(urls))
+		return serveLoop(c.ServeHTTP, c.Shutdown, *addr, *drain, stdout, stderr)
+	}
+
+	nWorkers, err := parseWorkerCount(*workers)
+	if err != nil {
+		fmt.Fprintf(stderr, "ctrpredd: -workers: %v\n", err)
+		return 2
+	}
 	cfg := server.Config{
-		Workers: *workers, Backlog: *queue, CacheEntries: *cache,
+		Workers: nWorkers, Backlog: *queue, CacheEntries: *cache,
 		DefaultTimeout: *timeout, DrainTimeout: *drain, EnablePprof: *pprofF,
 	}
 	if *smoke {
@@ -67,18 +112,104 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	s := server.New(cfg)
-	ln, err := net.Listen("tcp", *addr)
+	onUp := func(base string) {
+		if *join == "" {
+			return
+		}
+		self := *advertise
+		if self == "" {
+			self = base
+		}
+		if err := joinCluster(*join, self); err != nil {
+			fmt.Fprintf(stderr, "ctrpredd: join %s: %v (serving anyway)\n", *join, err)
+			return
+		}
+		fmt.Fprintf(stdout, "ctrpredd: joined cluster at %s as %s\n", *join, self)
+	}
+	return serveLoopWith(s.ServeHTTP, s.Shutdown, *addr, *drain, stdout, stderr, onUp)
+}
+
+// splitURLs parses the coordinator form of -workers.
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// parseWorkerCount parses the daemon form of -workers. A URL here is
+// almost certainly a forgotten -coordinator flag; say so.
+func parseWorkerCount(s string) (int, error) {
+	if s == "" {
+		return 0, nil
+	}
+	if strings.Contains(s, "://") || strings.Contains(s, ",") {
+		return 0, fmt.Errorf("%q looks like worker URLs; did you mean -coordinator?", s)
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("want a number (or URLs with -coordinator), got %q", s)
+	}
+	return n, nil
+}
+
+// joinCluster announces this worker to a coordinator, retrying briefly
+// so worker and coordinator can boot in either order.
+func joinCluster(coordinator, self string) error {
+	body, err := json.Marshal(map[string]string{"url": self})
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		if attempt > 0 {
+			time.Sleep(500 * time.Millisecond)
+		}
+		resp, err := http.Post(strings.TrimRight(coordinator, "/")+"/v1/cluster/join",
+			"application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return nil
+		}
+		lastErr = fmt.Errorf("coordinator answered %d", resp.StatusCode)
+		if resp.StatusCode == http.StatusBadRequest {
+			return lastErr // malformed advertise URL will not improve with retries
+		}
+	}
+	return lastErr
+}
+
+// serveLoop runs an http.Handler with graceful signal-driven shutdown.
+func serveLoop(handler http.HandlerFunc, shutdown func(context.Context) error, addr string, drain time.Duration, stdout, stderr io.Writer) int {
+	return serveLoopWith(handler, shutdown, addr, drain, stdout, stderr, nil)
+}
+
+// serveLoopWith is serveLoop plus an onUp hook invoked with the base
+// URL once the listener is accepting (worker self-registration).
+func serveLoopWith(handler http.HandlerFunc, shutdown func(context.Context) error, addr string, drain time.Duration, stdout, stderr io.Writer, onUp func(base string)) int {
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "ctrpredd: %v\n", err)
 		return 1
 	}
-	hs := &http.Server{Handler: s, ReadHeaderTimeout: 10 * time.Second}
+	hs := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 	fmt.Fprintf(stdout, "ctrpredd listening on http://%s\n", ln.Addr())
+	if onUp != nil {
+		onUp("http://" + ln.Addr().String())
+	}
 
 	select {
 	case err := <-serveErr:
@@ -88,12 +219,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	stop() // a second signal now kills the process the default way
 
-	fmt.Fprintf(stdout, "ctrpredd: draining (up to %s before jobs are cancelled)\n", *drain)
+	fmt.Fprintf(stdout, "ctrpredd: draining (up to %s before jobs are cancelled)\n", drain)
 	// Jobs first — Shutdown drains or cancels them, which lets in-flight
 	// request handlers finish — then the HTTP listener.
-	sdCtx, cancel := context.WithTimeout(context.Background(), *drain+30*time.Second)
+	sdCtx, cancel := context.WithTimeout(context.Background(), drain+30*time.Second)
 	defer cancel()
-	if err := s.Shutdown(sdCtx); err != nil {
+	if err := shutdown(sdCtx); err != nil {
 		fmt.Fprintf(stderr, "ctrpredd: drain: %v\n", err)
 		return 1
 	}

@@ -30,3 +30,48 @@ func TestBadFlags(t *testing.T) {
 		t.Fatalf("stderr missing usage: %s", errOut.String())
 	}
 }
+
+// TestWorkersFlagParsing pins the dual-mode -workers flag: a number for
+// a local daemon, URLs only under -coordinator, and a helpful error
+// when the two are confused.
+func TestWorkersFlagParsing(t *testing.T) {
+	if n, err := parseWorkerCount(""); err != nil || n != 0 {
+		t.Errorf("parseWorkerCount(\"\") = %d, %v; want 0, nil", n, err)
+	}
+	if n, err := parseWorkerCount("4"); err != nil || n != 4 {
+		t.Errorf("parseWorkerCount(\"4\") = %d, %v; want 4, nil", n, err)
+	}
+	if _, err := parseWorkerCount("http://a:1,http://b:2"); err == nil || !strings.Contains(err.Error(), "-coordinator") {
+		t.Errorf("parseWorkerCount(urls) error = %v; want a hint about -coordinator", err)
+	}
+	if got := splitURLs(" http://a:1, http://b:2 ,"); len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
+		t.Errorf("splitURLs = %v; want the two trimmed URLs", got)
+	}
+	if got := splitURLs(""); got != nil {
+		t.Errorf("splitURLs(\"\") = %v; want nil", got)
+	}
+}
+
+// TestDaemonRejectsURLWorkers: a daemon invocation handed worker URLs
+// must refuse with a pointer at -coordinator, not silently serve.
+func TestDaemonRejectsURLWorkers(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-workers", "http://a:1,http://b:2"}, &out, &errOut); code != 2 {
+		t.Fatalf("run with URL -workers = %d, want 2\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "-coordinator") {
+		t.Fatalf("stderr missing -coordinator hint: %s", errOut.String())
+	}
+}
+
+// TestCoordinatorSmokeRejected: the cluster self-test lives in
+// cmd/loadtest; -coordinator -smoke should say so.
+func TestCoordinatorSmokeRejected(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-coordinator", "-smoke"}, &out, &errOut); code != 2 {
+		t.Fatalf("run -coordinator -smoke = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "loadtest") {
+		t.Fatalf("stderr missing loadtest pointer: %s", errOut.String())
+	}
+}

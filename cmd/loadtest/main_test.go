@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadtestSmoke runs the whole harness in its quick self-test
+// shape: a 2-worker cluster, cold + warm + verify phases, byte-identity
+// and warm-cache assertions. This is the same invocation `make
+// loadtest-smoke` (and therefore `make verify`) runs.
+func TestLoadtestSmoke(t *testing.T) {
+	var out, errOut strings.Builder
+	args := []string{"-smoke", "-requests", "8", "-clients", "4", "-seeds", "2", "-instr", "2000"}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("loadtest -smoke = %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "loadtest smoke: PASS") {
+		t.Fatalf("missing PASS line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "cache-hit 100.0%") {
+		t.Fatalf("warm phase not fully cached:\n%s", out.String())
+	}
+}
+
+// TestBenchLineShape pins the -bench output contract cmd/benchjson
+// parses: starts with "Benchmark", no spaces in the name, and an even
+// number of fields after it ((value, unit) pairs following the
+// iteration count).
+func TestBenchLineShape(t *testing.T) {
+	var out strings.Builder
+	emitBench(&out, 2, result{
+		requests:       8,
+		coldWall:       1e9,
+		coldThroughput: 8,
+		coldP99:        420.5,
+		warmP50:        1.2,
+		warmHitRatio:   1,
+	})
+	line := strings.TrimSpace(out.String())
+	if !strings.HasPrefix(line, "BenchmarkClusterSweepNodes2") {
+		t.Fatalf("bench line has wrong name: %q", line)
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		t.Fatalf("bench line has %d fields, want even and >= 4: %q", len(fields), line)
+	}
+}
+
+func TestBadNodeFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-nodes", "zero"}, &out, &errOut); code != 2 {
+		t.Fatalf("run -nodes zero = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-nodes") {
+		t.Fatalf("stderr missing -nodes diagnosis: %s", errOut.String())
+	}
+}

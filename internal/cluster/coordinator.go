@@ -1,0 +1,1102 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ctrpred/internal/experiments"
+	"ctrpred/internal/runpool"
+	"ctrpred/internal/server"
+	"ctrpred/internal/stats"
+	"ctrpred/internal/workload"
+)
+
+// Config sizes a Coordinator. The zero value plus a worker list is
+// usable; every knob has a sane default.
+type Config struct {
+	// Workers are the initial worker base URLs ("http://host:port").
+	// More can join at runtime via POST /v1/cluster/join.
+	Workers []string
+	// Fanout caps in-flight cells per experiment (0: 2 per worker).
+	Fanout int
+	// Jobs caps concurrently running coordinator jobs (0: 2 per worker,
+	// at least 4 — coordinator jobs mostly wait on the network).
+	Jobs int
+	// Backlog caps queued jobs behind the running ones (0: 2×Jobs;
+	// < 0: none). A full backlog rejects with 429 + Retry-After.
+	Backlog int
+	// CacheEntries bounds the coordinator's own result cache (0: 256;
+	// < 0: disabled).
+	CacheEntries int
+	// VNodes is the ring points per worker (0: 64).
+	VNodes int
+	// FailThreshold is consecutive failures before mark-down (0: 2).
+	FailThreshold int
+	// ProbeInterval paces the health prober (0: 1 s; < 0: disabled —
+	// dispatch failures still mark workers down, but nothing revives
+	// them).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe (0: 2 s).
+	ProbeTimeout time.Duration
+	// RetryBudget is the redispatch (failover) budget per cell beyond
+	// the first attempt (0: 3; < 0: none).
+	RetryBudget int
+	// SaturationRetries is how many 429s a cell absorbs on one node
+	// before failing over (0: 8; < 0: none).
+	SaturationRetries int
+	// MaxRetryWait caps one saturation backoff sleep (0: 2 s).
+	MaxRetryWait time.Duration
+	// DrainTimeout is how long Shutdown lets running jobs finish (0: 5 s).
+	DrainTimeout time.Duration
+	// HTTPClient overrides the transport to workers (nil: default).
+	HTTPClient *http.Client
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 2 * len(cfg.Workers)
+		if cfg.Jobs < 4 {
+			cfg.Jobs = 4
+		}
+	}
+	if cfg.Backlog == 0 {
+		cfg.Backlog = 2 * cfg.Jobs
+	}
+	if cfg.Backlog < 0 {
+		cfg.Backlog = 0
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.RetryBudget == 0 {
+		cfg.RetryBudget = 3
+	}
+	if cfg.RetryBudget < 0 {
+		cfg.RetryBudget = 0
+	}
+	if cfg.SaturationRetries == 0 {
+		cfg.SaturationRetries = 8
+	}
+	if cfg.SaturationRetries < 0 {
+		cfg.SaturationRetries = 0
+	}
+	if cfg.MaxRetryWait <= 0 {
+		cfg.MaxRetryWait = 2 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	return cfg
+}
+
+// Coordinator fronts a cluster of ctrpredd workers behind the same
+// HTTP/JSON surface a single node serves. It validates requests with
+// the server package's own request types, routes each job to the worker
+// owning its content address on the ring, splits partitionable
+// experiment grids into per-benchmark cells dispatched with bounded
+// fan-out, reassembles the parts byte-identically, retries saturated
+// workers with jittered backoff, and requeues cells when a worker dies
+// mid-job. Create with New, mount as an http.Handler, stop with
+// Shutdown.
+type Coordinator struct {
+	cfg    Config
+	reg    *Registry
+	client *Client
+	pool   *runpool.Pool
+	cache  *server.ResultCache
+	mux    *http.ServeMux
+	start  time.Time
+	routes routeCounters
+
+	// jobsCtx parents every job; hardStop cancels it when the drain
+	// window expires.
+	jobsCtx  context.Context
+	hardStop context.CancelFunc
+
+	mu        sync.Mutex
+	draining  bool
+	probeStop chan struct{}
+	probeDone chan struct{}
+	rngState  uint64 // xorshift state for backoff jitter
+
+	accepted   atomic.Uint64
+	rejected   atomic.Uint64
+	finished   atomic.Uint64
+	failed     atomic.Uint64
+	streamed   atomic.Uint64
+	cacheSrvd  atomic.Uint64
+	joins      atomic.Uint64
+	simsRelay  atomic.Uint64
+	expsSplit  atomic.Uint64
+	expsFwd    atomic.Uint64
+	cellsOK    atomic.Uint64
+	cellsCache atomic.Uint64 // cells answered from a worker's cache
+	satRetries atomic.Uint64 // 429 backoff retries
+	failovers  atomic.Uint64 // redispatches to another worker
+	peerHits   atomic.Uint64 // results recovered via GET /v1/results
+
+	jobDurNS atomic.Int64
+	jobsDone atomic.Uint64
+}
+
+// New assembles a Coordinator over cfg.Workers and starts its health
+// prober (unless probing is disabled).
+func New(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	jobsCtx, hardStop := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:      cfg,
+		reg:      NewRegistry(cfg.VNodes, cfg.FailThreshold),
+		client:   NewClient(cfg.HTTPClient),
+		pool:     runpool.NewPool(cfg.Jobs, cfg.Backlog),
+		cache:    server.NewResultCache(cfg.CacheEntries),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		jobsCtx:  jobsCtx,
+		hardStop: hardStop,
+		rngState: 0x9e3779b97f4a7c15,
+	}
+	for _, w := range cfg.Workers {
+		c.reg.Add(w)
+	}
+	c.mux.HandleFunc("POST /v1/sim", c.routes.counted("sim", c.handleSim))
+	c.mux.HandleFunc("POST /v1/experiments", c.routes.counted("experiments", c.handleExperiment))
+	c.mux.HandleFunc("GET /v1/benchmarks", c.routes.counted("benchmarks", c.handleBenchmarks))
+	c.mux.HandleFunc("GET /v1/experiments", c.routes.counted("experiment_list", c.handleExperimentList))
+	c.mux.HandleFunc("GET /v1/results/{key}", c.routes.counted("results", c.handleResult))
+	c.mux.HandleFunc("POST /v1/cluster/join", c.routes.counted("join", c.handleJoin))
+	c.mux.HandleFunc("GET /v1/cluster", c.routes.counted("cluster", c.handleTopology))
+	c.mux.HandleFunc("GET /healthz", c.routes.counted("healthz", c.handleHealthz))
+	c.mux.HandleFunc("GET /metrics", c.routes.counted("metrics", c.handleMetrics))
+	if cfg.ProbeInterval > 0 {
+		c.probeStop = make(chan struct{})
+		c.probeDone = make(chan struct{})
+		go c.probeLoop()
+	}
+	return c
+}
+
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
+
+// Registry exposes the worker registry (topology inspection and tests).
+func (c *Coordinator) Registry() *Registry { return c.reg }
+
+// Shutdown stops the prober and admission, lets running jobs finish
+// within the drain window, then cancels them. Safe to call repeatedly.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.mu.Lock()
+	alreadyDraining := c.draining
+	c.draining = true
+	c.mu.Unlock()
+	if c.probeStop != nil && !alreadyDraining {
+		close(c.probeStop)
+		<-c.probeDone
+	}
+	drainCtx, cancel := context.WithTimeout(ctx, c.cfg.DrainTimeout)
+	defer cancel()
+	if err := c.pool.Shutdown(drainCtx); err == nil {
+		c.hardStop()
+		return nil
+	}
+	c.hardStop()
+	return c.pool.Shutdown(ctx)
+}
+
+func (c *Coordinator) isDraining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining
+}
+
+// probeLoop sweeps every registered worker's /healthz at the configured
+// interval, reviving down workers that answer and marking down workers
+// that stop answering.
+func (c *Coordinator) probeLoop() {
+	defer close(c.probeDone)
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.probeStop:
+			return
+		case <-t.C:
+		}
+		for _, node := range c.reg.All() {
+			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+			err := c.client.Healthz(ctx, node)
+			cancel()
+			if err != nil {
+				c.reg.ReportFailure(node, err, false)
+			} else {
+				c.reg.ReportSuccess(node)
+			}
+		}
+	}
+}
+
+// --- request dispatch (admission, cache, response shaping) ---
+
+// dispatch mirrors the single node's request lifecycle: coordinator
+// cache probe, pool admission with 429 + Retry-After backpressure, job
+// execution, and the same streaming/plain response shapes — so a client
+// cannot tell a coordinator from a worker by protocol alone.
+func (c *Coordinator) dispatch(w http.ResponseWriter, r *http.Request, key, label string, noCache bool, run func(ctx context.Context, stream bool, emit func(server.Event))) {
+	stream := wantsStream(r)
+
+	if !noCache {
+		if body, ok := c.cache.Get(key); ok {
+			c.cacheSrvd.Add(1)
+			if stream {
+				sw := newStreamWriter(w)
+				sw.write(server.Event{Event: "accepted", Key: key, Cached: true})
+				sw.write(server.Event{Event: "result", Key: key, Cached: true, Snapshot: body})
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Cache", "hit")
+			w.Header().Set("X-Result-Key", key)
+			w.Write(body)
+			return
+		}
+	}
+
+	if c.isDraining() {
+		httpError(w, http.StatusServiceUnavailable, errors.New("coordinator draining"))
+		return
+	}
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	unhook := context.AfterFunc(c.jobsCtx, cancel)
+	defer unhook()
+
+	events := make(chan server.Event, 128)
+	emit := func(ev server.Event) { events <- ev }
+	emitOpt := func(ev server.Event) {
+		select {
+		case events <- ev:
+		default:
+		}
+	}
+	job := func() {
+		defer close(events)
+		start := time.Now()
+		defer func() {
+			c.jobDurNS.Add(int64(time.Since(start)))
+			c.jobsDone.Add(1)
+		}()
+		run(ctx, stream, func(ev server.Event) {
+			if ev.Event == "result" || ev.Event == "error" {
+				emit(ev)
+			} else {
+				emitOpt(ev)
+			}
+		})
+	}
+
+	ps := c.pool.Stats()
+	queueDepth := ps.Pending
+	if err := c.pool.TrySubmit(label, job); err != nil {
+		c.rejected.Add(1)
+		if errors.Is(err, runpool.ErrPoolSaturated) {
+			w.Header().Set("Retry-After", strconv.Itoa(c.retryAfter(ps)))
+			httpError(w, http.StatusTooManyRequests, errors.New("cluster queue full; retry later"))
+		} else {
+			httpError(w, http.StatusServiceUnavailable, err)
+		}
+		return
+	}
+	c.accepted.Add(1)
+
+	if stream {
+		c.streamed.Add(1)
+		sw := newStreamWriter(w)
+		sw.write(server.Event{Event: "accepted", Key: key, Queue: queueDepth})
+		for ev := range events {
+			switch ev.Event {
+			case "error":
+				c.failed.Add(1)
+			case "result":
+				c.finished.Add(1)
+			}
+			sw.write(ev)
+		}
+		return
+	}
+
+	var final server.Event
+	for ev := range events {
+		if ev.Event == "result" || ev.Event == "error" {
+			final = ev
+		}
+	}
+	switch final.Event {
+	case "result":
+		c.finished.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "miss")
+		w.Header().Set("X-Result-Key", key)
+		w.Write(final.Snapshot)
+	case "error":
+		c.failed.Add(1)
+		status := final.Status
+		if status == 0 {
+			status = statusForCode(final.Code)
+		}
+		writeJSON(w, status, final)
+	default:
+		httpError(w, http.StatusInternalServerError, errors.New("job produced no result"))
+	}
+}
+
+// retryAfter is the coordinator's Retry-After hint under saturation:
+// the waves model the single node uses, fed by the coordinator's own
+// mean job wall-clock.
+func (c *Coordinator) retryAfter(ps runpool.PoolStats) int {
+	mean := time.Second
+	if n := c.jobsDone.Load(); n > 0 {
+		mean = time.Duration(uint64(c.jobDurNS.Load()) / n)
+		if mean <= 0 {
+			mean = time.Second
+		}
+	}
+	if ps.Workers <= 0 {
+		return 1
+	}
+	waves := 1 + ps.Pending/ps.Workers
+	secs := int((time.Duration(waves)*mean + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// --- handlers ---
+
+func (c *Coordinator) handleSim(w http.ResponseWriter, r *http.Request) {
+	var req server.SimRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	key, err := req.CacheKey()
+	if err != nil {
+		httpError(w, server.BuildStatus(err), err)
+		return
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	label := fmt.Sprintf("relay sim %s %s", req.Bench, key[:12])
+	c.dispatch(w, r, key, label, req.NoCache, func(ctx context.Context, stream bool, emit func(server.Event)) {
+		c.simsRelay.Add(1)
+		c.execForward(ctx, "/v1/sim", body, key, req.NoCache, stream, emit)
+	})
+}
+
+func (c *Coordinator) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	var req server.ExperimentRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	key, err := req.CacheKey()
+	if err != nil {
+		httpError(w, server.BuildStatus(err), err)
+		return
+	}
+	benches, err := req.ResolvedBenchmarks()
+	if err != nil {
+		httpError(w, server.BuildStatus(err), err)
+		return
+	}
+	label := fmt.Sprintf("cluster exp %s %s", req.ID, key[:12])
+	if experiments.Partitionable(req.ID) && len(benches) > 1 {
+		c.dispatch(w, r, key, label, req.NoCache, func(ctx context.Context, stream bool, emit func(server.Event)) {
+			c.expsSplit.Add(1)
+			c.execPartitioned(ctx, req, benches, key, emit)
+		})
+		return
+	}
+	// Grids that do not decompose by benchmark run whole on the key's
+	// home worker, exactly as a single node would run them.
+	body, err := json.Marshal(req)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	c.dispatch(w, r, key, label, req.NoCache, func(ctx context.Context, stream bool, emit func(server.Event)) {
+		c.expsFwd.Add(1)
+		c.execForward(ctx, "/v1/experiments", body, key, req.NoCache, stream, emit)
+	})
+}
+
+// execForward relays one whole job (a sim, or a non-partitionable
+// experiment) to its home worker. For a plain client it relays the
+// worker's plain response verbatim — the body a single node would have
+// written, byte for byte — and that canonical form is what the
+// coordinator caches. For a streaming client it relays the worker's
+// stream, dropping the worker's own "accepted" line (the coordinator
+// already emitted its own); the canonical body is then recovered from
+// the worker's cache for the coordinator's. Worker loss fails over to
+// the next ring candidate, probing the cluster's caches first in case
+// the result already exists somewhere; a streaming client may see
+// progress events restart, but every simulation is deterministic, so
+// the terminal result is the same bytes from any node.
+func (c *Coordinator) execForward(ctx context.Context, path string, body []byte, key string, noCache, stream bool, emit func(server.Event)) {
+	redispatch, satRetries := 0, 0
+	var lastErr error
+	for {
+		if err := ctx.Err(); err != nil {
+			emit(ctxErrEvent(err))
+			return
+		}
+		cands := c.reg.Candidates(key)
+		if len(cands) == 0 {
+			emit(errorEvent("unavailable", http.StatusServiceUnavailable, errors.New("no workers registered")))
+			return
+		}
+		node := cands[redispatch%len(cands)]
+		if redispatch > 0 && !noCache {
+			if b, ok := c.peerLookup(ctx, key); ok {
+				c.peerHits.Add(1)
+				c.cache.Put(key, b)
+				emit(server.Event{Event: "result", Key: key, Cached: true, Snapshot: b})
+				return
+			}
+		}
+		c.reg.NoteDispatch(node)
+
+		var err error
+		terminal := false
+		if stream {
+			err = c.relayStream(ctx, node, path, body, key, noCache, emit, &terminal)
+		} else {
+			err = c.relayPlain(ctx, node, path, body, key, noCache, emit, &terminal)
+		}
+		if terminal {
+			return
+		}
+		if err == nil {
+			err = fmt.Errorf("worker %s closed the stream without a terminal event", node)
+		}
+		lastErr = err
+
+		var se *StatusError
+		if errors.As(err, &se) && se.Saturated() && satRetries < c.cfg.SaturationRetries {
+			satRetries++
+			c.satRetries.Add(1)
+			if !c.sleep(ctx, c.backoff(se.RetryAfter, satRetries)) {
+				emit(ctxErrEvent(ctx.Err()))
+				return
+			}
+			continue
+		}
+		if se != nil && se.Status >= 400 && se.Status < 500 && !se.Saturated() {
+			// The job itself is bad or failed deterministically; another
+			// node would answer with the same refusal.
+			emit(workerErrEvent(se))
+			return
+		}
+		c.reg.ReportFailure(node, err, transportFailure(err))
+		c.failovers.Add(1)
+		redispatch++
+		if redispatch > c.cfg.RetryBudget {
+			emit(errorEvent("unavailable", http.StatusBadGateway,
+				fmt.Errorf("job failed after %d dispatches: %w", redispatch, lastErr)))
+			return
+		}
+	}
+}
+
+// relayPlain forwards one plain POST to node and emits the terminal
+// event. The worker's success body is relayed (and cached) untouched.
+func (c *Coordinator) relayPlain(ctx context.Context, node, path string, body []byte, key string, noCache bool, emit func(server.Event), terminal *bool) error {
+	out, _, err := c.client.PostJSON(ctx, node, path, body)
+	if err != nil {
+		var se *StatusError
+		if errors.As(err, &se) && se.Status >= 500 && se.Status < 600 && se.Status != http.StatusBadGateway {
+			// A worker-side job failure (timeout, panic, self-check) is an
+			// answer, not an outage — relay it as the terminal event. 502s
+			// and transport errors fall through to the failover loop.
+			*terminal = true
+			c.reg.ReportSuccess(node)
+			emit(workerErrEvent(se))
+			return nil
+		}
+		return err
+	}
+	*terminal = true
+	c.reg.ReportSuccess(node)
+	if !noCache {
+		c.cache.Put(key, out)
+	}
+	emit(server.Event{Event: "result", Key: key, Snapshot: out})
+	return nil
+}
+
+// relayStream forwards one streaming POST to node, relaying every event
+// but the worker's "accepted" line.
+func (c *Coordinator) relayStream(ctx context.Context, node, path string, body []byte, key string, noCache bool, emit func(server.Event), terminal *bool) error {
+	return c.client.PostStream(ctx, node, path, body, func(ev server.Event, _ json.RawMessage) error {
+		switch ev.Event {
+		case "accepted":
+			return nil
+		case "result":
+			*terminal = true
+			c.reg.ReportSuccess(node)
+			if !noCache {
+				// The stream embeds the snapshot compacted; the canonical
+				// indented body lives in the worker's cache. Cache that, so a
+				// later plain request through the coordinator returns exactly
+				// what a single node would have.
+				if canon, ok, err := c.client.LookupResult(ctx, node, key); err == nil && ok {
+					c.cache.Put(key, canon)
+				}
+			}
+			emit(ev)
+		case "error":
+			// The worker answered; the job itself failed. Deterministic
+			// jobs fail the same way anywhere — report, don't requeue.
+			*terminal = true
+			c.reg.ReportSuccess(node)
+			ev.Status = statusForCode(ev.Code)
+			emit(ev)
+		default:
+			emit(ev)
+		}
+		return nil
+	})
+}
+
+// workerErrEvent rebuilds a terminal error event from a worker's plain
+// error response: the worker wrote its final Event as the JSON body, so
+// the code and message survive the round trip; the status rides the
+// HTTP response.
+func workerErrEvent(se *StatusError) server.Event {
+	var ev server.Event
+	if len(se.Raw) > 0 && json.Unmarshal(se.Raw, &ev) == nil && ev.Event == "error" {
+		ev.Status = se.Status
+		return ev
+	}
+	return errorEvent("upstream", se.Status, errors.New(se.Message))
+}
+
+// execPartitioned splits a partitionable experiment into one cell per
+// benchmark, dispatches the cells across the cluster with bounded
+// fan-out (each cell routed to the worker owning its own content
+// address, so a repeated grid hits warm caches), and reassembles the
+// parts with experiments.MergeParts — byte-identical to the single-node
+// run of the full grid.
+func (c *Coordinator) execPartitioned(ctx context.Context, req server.ExperimentRequest, benches []string, key string, emit func(server.Event)) {
+	jobs := make([]runpool.Job[experiments.Result], 0, len(benches))
+	for _, bench := range benches {
+		cell := req
+		cell.Benchmarks = []string{bench}
+		cellBody, err := json.Marshal(cell)
+		if err != nil {
+			emit(errorEvent("internal", http.StatusInternalServerError, err))
+			return
+		}
+		cellKey, err := cell.CacheKey()
+		if err != nil {
+			emit(errorEvent("internal", http.StatusInternalServerError, err))
+			return
+		}
+		jobs = append(jobs, runpool.Job[experiments.Result]{
+			Label: fmt.Sprintf("cell %s/%s", req.ID, bench),
+			Fn: func(ctx context.Context) (experiments.Result, error) {
+				body, err := c.runCell(ctx, cellBody, cellKey, cell.NoCache)
+				if err != nil {
+					return experiments.Result{}, fmt.Errorf("cell %s: %w", bench, err)
+				}
+				return experiments.DecodeResultSnapshot(body)
+			},
+		})
+	}
+
+	fanout := c.cfg.Fanout
+	if fanout <= 0 {
+		fanout = 2 * len(c.reg.All())
+		if fanout < 2 {
+			fanout = 2
+		}
+	}
+	parts, err := runpool.RunContext(ctx, runpool.Options{
+		Workers: fanout,
+		Progress: func(u runpool.Update) {
+			emit(server.Event{Event: "update", Update: wireUpdate(u)})
+		},
+	}, jobs)
+	if err != nil {
+		emit(jobErrEvent(err))
+		return
+	}
+	merged, err := experiments.MergeParts(req.ID, parts)
+	if err != nil {
+		emit(errorEvent("internal", http.StatusInternalServerError, err))
+		return
+	}
+	body, err := merged.Snapshot().JSON()
+	if err != nil {
+		emit(errorEvent("internal", http.StatusInternalServerError, err))
+		return
+	}
+	if !req.NoCache {
+		c.cache.Put(key, body)
+	}
+	emit(server.Event{Event: "result", Key: key, Snapshot: body})
+}
+
+// runCell runs one cell to completion somewhere on the cluster and
+// returns its snapshot body. The cell goes to the worker owning its
+// content address; a 429 waits out the worker's Retry-After (with
+// jitter, bounded by SaturationRetries) before failing over; a dead
+// worker is marked down and the cell requeues on the next ring
+// candidate — after probing the cluster's caches, since the dying
+// worker may have finished and a peer may hold the bytes.
+func (c *Coordinator) runCell(ctx context.Context, body []byte, key string, noCache bool) ([]byte, error) {
+	redispatch, satRetries := 0, 0
+	var lastErr error
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cands := c.reg.Candidates(key)
+		if len(cands) == 0 {
+			return nil, errors.New("no workers registered")
+		}
+		node := cands[redispatch%len(cands)]
+		if redispatch > 0 && !noCache {
+			if b, ok := c.peerLookup(ctx, key); ok {
+				c.peerHits.Add(1)
+				return b, nil
+			}
+		}
+		c.reg.NoteDispatch(node)
+		out, hdr, err := c.client.PostJSON(ctx, node, "/v1/experiments", body)
+		if err == nil {
+			c.reg.ReportSuccess(node)
+			c.cellsOK.Add(1)
+			if hdr.Get("X-Cache") == "hit" {
+				c.cellsCache.Add(1)
+			}
+			return out, nil
+		}
+		lastErr = err
+
+		var se *StatusError
+		if errors.As(err, &se) {
+			if se.Saturated() && satRetries < c.cfg.SaturationRetries {
+				satRetries++
+				c.satRetries.Add(1)
+				if !c.sleep(ctx, c.backoff(se.RetryAfter, satRetries)) {
+					return nil, ctx.Err()
+				}
+				continue
+			}
+			if se.Status >= 400 && se.Status < 500 && !se.Saturated() {
+				// The cell itself is bad or failed deterministically (a
+				// security halt is a 422): the same bytes would come back
+				// from every node.
+				return nil, err
+			}
+		}
+		c.reg.ReportFailure(node, err, transportFailure(err))
+		c.failovers.Add(1)
+		redispatch++
+		if redispatch > c.cfg.RetryBudget {
+			return nil, fmt.Errorf("failed after %d dispatches: %w", redispatch, lastErr)
+		}
+	}
+}
+
+// peerLookup asks the cluster for an already-computed result, home
+// worker first, then the rest of the ring sequence.
+func (c *Coordinator) peerLookup(ctx context.Context, key string) ([]byte, bool) {
+	for _, node := range c.reg.Candidates(key) {
+		if b, ok, err := c.client.LookupResult(ctx, node, key); err == nil && ok {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// backoff is the saturation wait: the worker's Retry-After hint when it
+// sent one (else a doubling ramp from 50 ms), capped by MaxRetryWait,
+// plus up to 25% jitter so colliding cells do not re-arrive in
+// lockstep.
+func (c *Coordinator) backoff(hint time.Duration, attempt int) time.Duration {
+	wait := hint
+	if wait <= 0 {
+		wait = 50 * time.Millisecond << (attempt - 1)
+	}
+	if wait > c.cfg.MaxRetryWait {
+		wait = c.cfg.MaxRetryWait
+	}
+	return wait + time.Duration(c.randFloat()*0.25*float64(wait))
+}
+
+// randFloat is a locked xorshift64 in [0,1) — jitter needs no
+// cryptographic or reproducible source, just decorrelation.
+func (c *Coordinator) randFloat() float64 {
+	c.mu.Lock()
+	x := c.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	c.rngState = x
+	c.mu.Unlock()
+	return float64(x>>11) / float64(1<<53)
+}
+
+// sleep waits d or until ctx is done, reporting whether the wait
+// completed.
+func (c *Coordinator) sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// handleResult serves GET /v1/results/{key}: coordinator cache first,
+// then the cluster (home worker first). A cluster hit is copied into
+// the coordinator's cache on the way through.
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if body, ok := c.cache.Get(key); ok {
+		c.cacheSrvd.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "hit")
+		w.Write(body)
+		return
+	}
+	if body, ok := c.peerLookup(r.Context(), key); ok {
+		c.peerHits.Add(1)
+		c.cache.Put(key, body)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "peer")
+		w.Write(body)
+		return
+	}
+	httpError(w, http.StatusNotFound, fmt.Errorf("no cached result for %q anywhere in the cluster", key))
+}
+
+// handleJoin serves POST /v1/cluster/join: a worker announcing itself.
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		URL string `json:"url"`
+	}
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	u, err := url.Parse(req.URL)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("join: want an http(s) base URL, got %q", req.URL))
+		return
+	}
+	c.joins.Add(1)
+	added := c.reg.Add(req.URL)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"added":   added,
+		"workers": c.reg.Workers(),
+	})
+}
+
+// handleTopology serves GET /v1/cluster: the ring membership and each
+// worker's state.
+func (c *Coordinator) handleTopology(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workers": c.reg.Workers(),
+	})
+}
+
+// handleBenchmarks matches the worker surface so clients can point at
+// the coordinator alone. The list is static library data; no need to
+// ask a worker.
+func (c *Coordinator) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	type bench struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+		MemoryBound bool   `json:"memory_bound"`
+		WriteHeavy  bool   `json:"write_heavy"`
+	}
+	var out []bench
+	for _, n := range workload.Names() {
+		sp, _ := workload.Lookup(n)
+		out = append(out, bench{Name: sp.Name, Description: sp.Description,
+			MemoryBound: sp.MemoryBound, WriteHeavy: sp.WriteHeavy})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (c *Coordinator) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, experiments.IDs())
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if c.isDraining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":     status,
+		"workers":    len(c.reg.All()),
+		"workers_up": len(c.reg.Up()),
+	})
+}
+
+// Snapshot exports the coordinator's counters as a metrics tree: job
+// admission at the root, cell dispatch outcomes under "cells", the
+// admission pool and result cache as children, one child per worker.
+func (c *Coordinator) Snapshot() *stats.Snapshot {
+	n := stats.NewSnapshot("coordinator")
+	n.Counter("accepted", c.accepted.Load())
+	n.Counter("rejected", c.rejected.Load())
+	n.Counter("finished", c.finished.Load())
+	n.Counter("failed", c.failed.Load())
+	n.Counter("streamed", c.streamed.Load())
+	n.Counter("cache_served", c.cacheSrvd.Load())
+	n.Counter("joins", c.joins.Load())
+	n.Counter("sims_relayed", c.simsRelay.Load())
+	n.Counter("experiments_split", c.expsSplit.Load())
+	n.Counter("experiments_forwarded", c.expsFwd.Load())
+	n.Value("uptime_seconds", time.Since(c.start).Seconds())
+
+	cn := n.Child("cells")
+	cn.Counter("completed", c.cellsOK.Load())
+	cn.Counter("worker_cache_hits", c.cellsCache.Load())
+	cn.Counter("saturation_retries", c.satRetries.Load())
+	cn.Counter("failovers", c.failovers.Load())
+	cn.Counter("peer_hits", c.peerHits.Load())
+
+	ps := c.pool.Stats()
+	pn := n.Child("pool")
+	pn.Counter("submitted", ps.Submitted)
+	pn.Counter("rejected", ps.Rejected)
+	pn.Counter("completed", ps.Completed)
+	pn.Counter("workers", uint64(ps.Workers))
+	pn.Counter("pending", uint64(ps.Pending))
+	pn.Counter("running", uint64(ps.Running))
+	pn.Value("occupancy", ps.Occupancy())
+
+	cs := c.cache.Stats()
+	can := n.Child("cache")
+	can.Counter("entries", uint64(cs.Entries))
+	can.Counter("capacity", uint64(max(cs.Capacity, 0)))
+	can.Counter("hits", cs.Hits)
+	can.Counter("misses", cs.Misses)
+	can.Counter("evictions", cs.Evictions)
+
+	wn := n.Child("workers")
+	for _, w := range c.reg.Workers() {
+		one := wn.Child(w.URL)
+		one.Counter("dispatched", w.Dispatched)
+		one.Counter("failures", w.Failures)
+		one.Counter("mark_downs", w.MarkDowns)
+		down := uint64(0)
+		if w.Down {
+			down = 1
+		}
+		one.Counter("down", down)
+	}
+
+	c.routes.addTo(n.Child("endpoints"))
+	return n
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	body, err := c.Snapshot().JSON()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// --- event and error shaping ---
+
+// errorEvent builds a coordinator-origin terminal error event.
+func errorEvent(code string, status int, err error) server.Event {
+	return server.Event{Event: "error", Error: err.Error(), Code: code, Status: status}
+}
+
+// ctxErrEvent classifies a context error the way the single node does.
+func ctxErrEvent(err error) server.Event {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return errorEvent("timeout", http.StatusGatewayTimeout, err)
+	}
+	return errorEvent("canceled", http.StatusServiceUnavailable, err)
+}
+
+// jobErrEvent classifies a failed fan-out: context errors keep their
+// single-node codes, upstream StatusErrors keep their statuses, the
+// rest is a bad gateway — some part of the cluster failed this job.
+func jobErrEvent(err error) server.Event {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return ctxErrEvent(err)
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return errorEvent("upstream", se.Status, err)
+	}
+	return errorEvent("unavailable", http.StatusBadGateway, err)
+}
+
+// statusForCode maps a relayed worker error code to the HTTP status a
+// plain response should carry: the worker's status travels in its HTTP
+// response, not in the stream event, so the coordinator re-derives it.
+func statusForCode(code string) int {
+	switch code {
+	case "bad_request":
+		return http.StatusBadRequest
+	case "security":
+		return http.StatusUnprocessableEntity
+	case "timeout":
+		return http.StatusGatewayTimeout
+	case "canceled", "unavailable":
+		return http.StatusServiceUnavailable
+	case "upstream":
+		return http.StatusBadGateway
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// transportFailure reports whether err looks like the worker process is
+// gone (connection-level failure) rather than an HTTP-level complaint —
+// gone workers are marked down immediately instead of waiting out the
+// probe threshold.
+func transportFailure(err error) bool {
+	var se *StatusError
+	return !errors.As(err, &se)
+}
+
+// wireUpdate mirrors the single node's update framing for cell
+// progress.
+func wireUpdate(u runpool.Update) *server.UpdateWire {
+	w := &server.UpdateWire{
+		Index: u.Index, Label: u.Label,
+		ElapsedMS: float64(u.Elapsed) / float64(time.Millisecond),
+		Done:      u.Done, Total: u.Total,
+	}
+	if u.Err != nil {
+		w.Error = u.Err.Error()
+	}
+	return w
+}
+
+// --- HTTP plumbing (the coordinator speaks the same dialect as the
+// single node; these mirror internal/server's helpers) ---
+
+func wantsStream(r *http.Request) bool {
+	if v := r.URL.Query().Get("stream"); v == "1" || v == "true" {
+		return true
+	}
+	for _, accept := range r.Header.Values("Accept") {
+		if accept == "application/x-ndjson" || accept == "application/ndjson" {
+			return true
+		}
+	}
+	return false
+}
+
+type streamWriter struct {
+	w      http.ResponseWriter
+	rc     *http.ResponseController
+	enc    *json.Encoder
+	broken bool
+}
+
+func newStreamWriter(w http.ResponseWriter) *streamWriter {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	return &streamWriter{w: w, rc: http.NewResponseController(w), enc: json.NewEncoder(w)}
+}
+
+func (sw *streamWriter) write(ev server.Event) {
+	if sw.broken {
+		return
+	}
+	sw.rc.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	if err := sw.enc.Encode(ev); err != nil {
+		sw.broken = true
+		return
+	}
+	sw.rc.Flush()
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// routeCounters counts requests per route for /metrics, mirroring the
+// worker's endpoint counters.
+type routeCounters struct {
+	mu     sync.Mutex
+	counts map[string]uint64
+}
+
+func (e *routeCounters) counted(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		e.mu.Lock()
+		if e.counts == nil {
+			e.counts = make(map[string]uint64)
+		}
+		e.counts[name]++
+		e.mu.Unlock()
+		h(w, r)
+	}
+}
+
+func (e *routeCounters) addTo(n *stats.Snapshot) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for name, v := range e.counts {
+		n.Counter(name, v)
+	}
+}

@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry tracks the cluster's worker nodes: ring membership, up/down
+// state, and per-worker dispatch counters. Dispatch paths report
+// outcomes; the health prober (coordinator.go) reports probe results;
+// both flow through the same mark-down/mark-up logic so a worker's
+// state has one definition.
+//
+// Down workers stay on the ring — key ownership must not churn on a
+// transient outage, or every blip would cold-start the caches — but
+// Candidates skips them, so traffic routes around a down worker to the
+// next node clockwise until the prober brings it back.
+type Registry struct {
+	mu            sync.Mutex
+	ring          *Ring
+	workers       map[string]*workerState
+	failThreshold int
+}
+
+type workerState struct {
+	url string
+	// down gates dispatch; consecFails counts failures since the last
+	// success, and down flips when it reaches the registry threshold.
+	down        bool
+	consecFails int
+	lastErr     string
+	lastChange  time.Time
+
+	dispatched uint64 // cells/jobs sent to this worker
+	failures   uint64 // dispatch and probe failures observed
+	markDowns  uint64 // times this worker was marked down
+}
+
+// WorkerInfo is one worker's state as reported by Workers — the
+// topology and metrics view.
+type WorkerInfo struct {
+	URL        string `json:"url"`
+	Down       bool   `json:"down"`
+	LastError  string `json:"last_error,omitempty"`
+	Dispatched uint64 `json:"dispatched"`
+	Failures   uint64 `json:"failures"`
+	MarkDowns  uint64 `json:"mark_downs"`
+}
+
+// NewRegistry creates an empty registry. failThreshold is how many
+// consecutive failures mark a worker down (<= 0: 2 — one failure could
+// be the victim of a mid-request kill; two in a row is a pattern).
+func NewRegistry(vnodes, failThreshold int) *Registry {
+	if failThreshold <= 0 {
+		failThreshold = 2
+	}
+	return &Registry{
+		ring:          NewRing(vnodes),
+		workers:       make(map[string]*workerState),
+		failThreshold: failThreshold,
+	}
+}
+
+// normalizeURL canonicalizes a worker URL so "http://a:1/" and
+// "http://a:1" name one worker.
+func normalizeURL(u string) string {
+	return strings.TrimRight(strings.TrimSpace(u), "/")
+}
+
+// Add registers a worker as up, reporting whether it was new. Re-adding
+// a known worker (a worker re-joining after a restart) revives it.
+func (g *Registry) Add(url string) bool {
+	url = normalizeURL(url)
+	if url == "" {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w, ok := g.workers[url]
+	if !ok {
+		g.workers[url] = &workerState{url: url, lastChange: time.Now()}
+		g.ring.Add(url)
+		return true
+	}
+	w.down = false
+	w.consecFails = 0
+	w.lastErr = ""
+	w.lastChange = time.Now()
+	return false
+}
+
+// Candidates returns the up workers that should run key's job, in
+// failover order: the key's home first, then successive nodes clockwise
+// on the ring. When every worker is down it returns the full sequence
+// anyway — dispatching into a possibly-recovering cluster beats
+// refusing all work on the prober's say-so.
+func (g *Registry) Candidates(key string) []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	seq := g.ring.Sequence(key, g.ring.Len())
+	up := make([]string, 0, len(seq))
+	for _, url := range seq {
+		if w := g.workers[url]; w != nil && !w.down {
+			up = append(up, url)
+		}
+	}
+	if len(up) == 0 {
+		return seq
+	}
+	return up
+}
+
+// Up returns the up workers, sorted — the set a cluster-wide peer
+// lookup should consult.
+func (g *Registry) Up() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.workers))
+	for url, w := range g.workers {
+		if !w.down {
+			out = append(out, url)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered worker URL, sorted, up or not — the set
+// the health prober sweeps.
+func (g *Registry) All() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.workers))
+	for url := range g.workers {
+		out = append(out, url)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NoteDispatch counts a job sent to url.
+func (g *Registry) NoteDispatch(url string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if w := g.workers[normalizeURL(url)]; w != nil {
+		w.dispatched++
+	}
+}
+
+// ReportSuccess records a successful interaction: the worker is up and
+// its failure streak resets.
+func (g *Registry) ReportSuccess(url string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w := g.workers[normalizeURL(url)]
+	if w == nil {
+		return
+	}
+	if w.down {
+		w.lastChange = time.Now()
+	}
+	w.down = false
+	w.consecFails = 0
+	w.lastErr = ""
+}
+
+// ReportFailure records a failed interaction (dispatch error or probe
+// failure) and reports whether the worker is now down. immediate
+// short-circuits the threshold — a connection refused means the process
+// is gone, and waiting out more probes would send it more doomed work.
+func (g *Registry) ReportFailure(url string, err error, immediate bool) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w := g.workers[normalizeURL(url)]
+	if w == nil {
+		return false
+	}
+	w.failures++
+	w.consecFails++
+	if err != nil {
+		w.lastErr = err.Error()
+	}
+	if !w.down && (immediate || w.consecFails >= g.failThreshold) {
+		w.down = true
+		w.markDowns++
+		w.lastChange = time.Now()
+	}
+	return w.down
+}
+
+// Workers returns every worker's state, sorted by URL.
+func (g *Registry) Workers() []WorkerInfo {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(g.workers))
+	for _, w := range g.workers {
+		out = append(out, WorkerInfo{
+			URL: w.url, Down: w.down, LastError: w.lastErr,
+			Dispatched: w.dispatched, Failures: w.failures, MarkDowns: w.markDowns,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}

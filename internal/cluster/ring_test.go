@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicPlacement(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(0)
+		r.Add("http://a:1")
+		r.Add("http://b:1")
+		r.Add("http://c:1")
+		return r
+	}
+	r1, r2 := build(), build()
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		h1, ok1 := r1.Home(key)
+		h2, ok2 := r2.Home(key)
+		if !ok1 || !ok2 || h1 != h2 {
+			t.Fatalf("placement of %q not deterministic: %q/%v vs %q/%v", key, h1, ok1, h2, ok2)
+		}
+	}
+	// Insertion order must not matter either: the ring is a pure
+	// function of its membership.
+	r3 := NewRing(0)
+	r3.Add("http://c:1")
+	r3.Add("http://a:1")
+	r3.Add("http://b:1")
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		h1, _ := r1.Home(key)
+		h3, _ := r3.Home(key)
+		if h1 != h3 {
+			t.Fatalf("placement of %q depends on insertion order: %q vs %q", key, h1, h3)
+		}
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	counts := make(map[string]int)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		home, ok := r.Home(fmt.Sprintf("key-%d", i))
+		if !ok {
+			t.Fatal("Home on a populated ring returned false")
+		}
+		counts[home]++
+	}
+	for _, node := range nodes {
+		got := counts[node]
+		// With 64 vnodes the arcs are smooth enough that no node should
+		// stray past double or below half of the fair share.
+		if got < n/len(nodes)/2 || got > n/len(nodes)*2 {
+			t.Errorf("node %s owns %d of %d keys; want near %d", node, got, n, n/len(nodes))
+		}
+	}
+}
+
+func TestRingRemoveMovesOnlyOrphanedKeys(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"http://a:1", "http://b:1", "http://c:1"} {
+		r.Add(n)
+	}
+	before := make(map[string]string)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before[key], _ = r.Home(key)
+	}
+	r.Remove("http://b:1")
+	for key, prev := range before {
+		now, ok := r.Home(key)
+		if !ok {
+			t.Fatal("Home on a populated ring returned false")
+		}
+		if prev != "http://b:1" && now != prev {
+			t.Fatalf("key %q moved from %s to %s though its home never left the ring", key, prev, now)
+		}
+		if now == "http://b:1" {
+			t.Fatalf("key %q still maps to a removed node", key)
+		}
+	}
+}
+
+func TestRingSequenceDistinctAndHomeFirst(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		seq := r.Sequence(key, 10)
+		if len(seq) != len(nodes) {
+			t.Fatalf("Sequence(%q) = %v; want all %d nodes", key, seq, len(nodes))
+		}
+		home, _ := r.Home(key)
+		if seq[0] != home {
+			t.Fatalf("Sequence(%q)[0] = %s; want home %s", key, seq[0], home)
+		}
+		seen := make(map[string]bool)
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("Sequence(%q) repeats %s", key, n)
+			}
+			seen[n] = true
+		}
+	}
+	if got := NewRing(0).Sequence("k", 3); got != nil {
+		t.Errorf("Sequence on an empty ring = %v; want nil", got)
+	}
+}
+
+func TestRegistryMarkDownAndRevive(t *testing.T) {
+	g := NewRegistry(0, 2)
+	g.Add("http://a:1")
+	g.Add("http://b:1")
+	errBoom := errors.New("boom")
+
+	if down := g.ReportFailure("http://a:1", errBoom, false); down {
+		t.Fatal("one failure below the threshold marked the worker down")
+	}
+	if down := g.ReportFailure("http://a:1", errBoom, false); !down {
+		t.Fatal("two consecutive failures did not mark the worker down")
+	}
+	for _, url := range g.Up() {
+		if url == "http://a:1" {
+			t.Fatal("down worker listed as up")
+		}
+	}
+	// Candidates route around the down worker…
+	for i := 0; i < 50; i++ {
+		for _, n := range g.Candidates(fmt.Sprintf("key-%d", i)) {
+			if n == "http://a:1" {
+				t.Fatal("down worker offered as a candidate while a live one exists")
+			}
+		}
+	}
+	// …and a probe success revives it.
+	g.ReportSuccess("http://a:1")
+	if len(g.Up()) != 2 {
+		t.Fatalf("Up after revive = %v; want both workers", g.Up())
+	}
+
+	// With every worker down, candidates fall back to the full sequence
+	// rather than refusing all work.
+	g.ReportFailure("http://a:1", errBoom, true)
+	g.ReportFailure("http://b:1", errBoom, true)
+	if got := g.Candidates("key"); len(got) != 2 {
+		t.Fatalf("Candidates with all workers down = %v; want the full sequence", got)
+	}
+}
+
+func TestRegistryImmediateMarkDown(t *testing.T) {
+	g := NewRegistry(0, 3)
+	g.Add("http://a:1/")
+	// Trailing slash normalizes away: same worker.
+	if g.Add("http://a:1") {
+		t.Fatal("re-adding a worker under a spelling variant created a second entry")
+	}
+	if down := g.ReportFailure("http://a:1", errors.New("connection refused"), true); !down {
+		t.Fatal("an immediate failure did not mark the worker down")
+	}
+	ws := g.Workers()
+	if len(ws) != 1 || !ws[0].Down || ws[0].MarkDowns != 1 {
+		t.Fatalf("Workers = %+v; want one down worker with one mark-down", ws)
+	}
+	// A re-join (worker restarted) revives it.
+	g.Add("http://a:1")
+	if len(g.Up()) != 1 {
+		t.Fatal("re-join did not revive the worker")
+	}
+}

@@ -115,6 +115,15 @@ func Engines(ctx context.Context, opt Options) (Result, error) {
 	}
 	res.Table.AddFloats("Average", 3, avgs...)
 
+	enginesFinalize(&res, avgs)
+	return res, nil
+}
+
+// enginesFinalize derives the crossover latency and the notes line from
+// the per-column average edges. It is shared with MergeParts so a
+// cluster-assembled engines result finalizes through exactly the same
+// code path as a single-node run.
+func enginesFinalize(res *Result, avgs []float64) {
 	// Crossover: the largest swept AES latency whose average edge stays
 	// within the noise threshold — below it, precomputing pads no longer
 	// buys IPC. 0 means prediction pays at every swept latency.
@@ -132,5 +141,4 @@ func Engines(ctx context.Context, opt Options) (Result, error) {
 		res.Notes = fmt.Sprintf("Context prediction's IPC edge over baseline vanishes (≤ %.0f%%) at AES latency %d cycles and below; above it — and under the sealer-style banked engine — precomputation still pays.",
 			(enginesEdgeThreshold-1)*100, crossover)
 	}
-	return res, nil
 }

@@ -33,6 +33,16 @@ type PoolStats struct {
 	Running int
 }
 
+// Occupancy is the fraction of execution slots in use (Running/Workers),
+// the primary load-balancing gauge: 0 is idle, 1 means every worker is
+// busy and new arrivals will queue.
+func (s PoolStats) Occupancy() float64 {
+	if s.Workers <= 0 {
+		return 0
+	}
+	return float64(s.Running) / float64(s.Workers)
+}
+
 // Pool is the long-lived sibling of RunContext: a bounded set of workers
 // draining a bounded backlog of dynamically submitted tasks. Where
 // RunContext serves batch sweeps whose job list is known up front, Pool

@@ -145,3 +145,21 @@ func TestPoolContainsPanics(t *testing.T) {
 		t.Fatalf("OnPanic got %+v", got.Load())
 	}
 }
+
+func TestPoolStatsOccupancy(t *testing.T) {
+	cases := []struct {
+		workers, running int
+		want             float64
+	}{
+		{4, 0, 0},
+		{4, 2, 0.5},
+		{4, 4, 1},
+		{0, 3, 0}, // degenerate stats never divide by zero
+	}
+	for _, tc := range cases {
+		ps := PoolStats{Workers: tc.workers, Running: tc.running}
+		if got := ps.Occupancy(); got != tc.want {
+			t.Errorf("Occupancy(workers=%d running=%d) = %g, want %g", tc.workers, tc.running, got, tc.want)
+		}
+	}
+}

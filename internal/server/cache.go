@@ -5,12 +5,17 @@ import (
 	"sync"
 )
 
-// resultCache is the content-addressed store of completed results:
+// ResultCache is the content-addressed store of completed results:
 // canonical request hash → final snapshot JSON. Entries are immutable —
 // a key fully determines the simulation output — so a hit is served
 // without touching the job queue at all. Bounded LRU; a repeated sweep
 // of distinct configs evicts the coldest results first.
-type resultCache struct {
+//
+// It is exported because the cluster coordinator keeps one of its own:
+// assembled experiment results and proxied simulations are cached at
+// the coordinator under the same keys the workers use, so a warm rerun
+// never crosses the network at all.
+type ResultCache struct {
 	mu      sync.Mutex
 	cap     int
 	byKey   map[string]*list.Element
@@ -25,14 +30,15 @@ type cacheEntry struct {
 	body []byte
 }
 
-// newResultCache builds a cache holding up to capacity results;
+// NewResultCache builds a cache holding up to capacity results;
 // capacity <= 0 disables caching (every lookup misses, puts are
 // dropped).
-func newResultCache(capacity int) *resultCache {
-	return &resultCache{cap: capacity, byKey: make(map[string]*list.Element)}
+func NewResultCache(capacity int) *ResultCache {
+	return &ResultCache{cap: capacity, byKey: make(map[string]*list.Element)}
 }
 
-func (c *resultCache) get(key string) ([]byte, bool) {
+// Get returns the cached body for key, if present.
+func (c *ResultCache) Get(key string) ([]byte, bool) {
 	if c == nil || c.cap <= 0 {
 		return nil, false
 	}
@@ -48,7 +54,9 @@ func (c *resultCache) get(key string) ([]byte, bool) {
 	return el.Value.(*cacheEntry).body, true
 }
 
-func (c *resultCache) put(key string, body []byte) {
+// Put stores body under key, evicting the least recently used entries
+// past capacity.
+func (c *ResultCache) Put(key string, body []byte) {
 	if c == nil || c.cap <= 0 {
 		return
 	}
@@ -68,16 +76,18 @@ func (c *resultCache) put(key string, body []byte) {
 	}
 }
 
-type cacheStats struct {
-	entries, capacity       int
-	hits, misses, evictions uint64
+// CacheStats is a point-in-time view of a ResultCache's counters.
+type CacheStats struct {
+	Entries, Capacity       int
+	Hits, Misses, Evictions uint64
 }
 
-func (c *resultCache) stats() cacheStats {
+// Stats returns the cache's counters.
+func (c *ResultCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return cacheStats{
-		entries: len(c.byKey), capacity: c.cap,
-		hits: c.hits, misses: c.misses, evictions: c.evicted,
+	return CacheStats{
+		Entries: len(c.byKey), Capacity: c.cap,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evicted,
 	}
 }

@@ -241,6 +241,31 @@ func (r SimRequest) key() (string, error) {
 	return sim.Fingerprint(bench, cfg), nil
 }
 
+// CacheKey exposes the request's content address to other packages: the
+// cluster coordinator hashes it onto the ring to pick the simulation's
+// home worker, so repeats of the same config land where the cache is
+// warm.
+func (r SimRequest) CacheKey() (string, error) { return r.key() }
+
+// CacheKey exposes the experiment request's content address. The key is
+// insensitive to Workers and timeouts (they change when a result
+// arrives, not what it is), so any worker-count argument would hash
+// identically; the coordinator and the serving node therefore agree on
+// the address without coordinating pool sizes.
+func (r ExperimentRequest) CacheKey() (string, error) { return r.key(1) }
+
+// ResolvedBenchmarks returns the benchmark set the request's grid
+// actually runs over — the explicit list, or the full registry when the
+// field is empty — in request order. The cluster coordinator partitions
+// a sweep into per-benchmark cells from this list.
+func (r ExperimentRequest) ResolvedBenchmarks() ([]string, error) {
+	opt, err := r.buildExperiment(1)
+	if err != nil {
+		return nil, err
+	}
+	return opt.Benchmarks, nil
+}
+
 // key returns the content address of an experiment request: a hash over
 // the result-determining fields only. Workers and timeouts are excluded
 // — the sweep output is byte-identical for any worker count, and a

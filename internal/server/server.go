@@ -82,9 +82,14 @@ const (
 type Server struct {
 	cfg   Config
 	pool  *runpool.Pool
-	cache *resultCache
+	cache *ResultCache
 	mux   *http.ServeMux
 	start time.Time
+
+	// endpoints counts requests per route pattern, exported under the
+	// "endpoints" child of /metrics so a load balancer can see which
+	// surfaces carry the traffic.
+	endpoints endpointCounters
 
 	// jobsCtx parents every job's context; hardStop cancels it when the
 	// drain window expires, aborting in-flight simulations at their next
@@ -132,19 +137,19 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		pool:     runpool.NewPool(cfg.Workers, cfg.Backlog),
-		cache:    newResultCache(cfg.CacheEntries),
+		cache:    NewResultCache(cfg.CacheEntries),
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
 		jobsCtx:  jobsCtx,
 		hardStop: hardStop,
 	}
-	s.mux.HandleFunc("POST /v1/sim", s.handleSim)
-	s.mux.HandleFunc("POST /v1/experiments", s.handleExperiment)
-	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
-	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
-	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/sim", s.endpoints.counted("sim", s.handleSim))
+	s.mux.HandleFunc("POST /v1/experiments", s.endpoints.counted("experiments", s.handleExperiment))
+	s.mux.HandleFunc("GET /v1/benchmarks", s.endpoints.counted("benchmarks", s.handleBenchmarks))
+	s.mux.HandleFunc("GET /v1/experiments", s.endpoints.counted("experiment_list", s.handleExperimentList))
+	s.mux.HandleFunc("GET /v1/results/{key}", s.endpoints.counted("results", s.handleResult))
+	s.mux.HandleFunc("GET /healthz", s.endpoints.counted("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.endpoints.counted("metrics", s.handleMetrics))
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -229,7 +234,10 @@ type Event struct {
 	// timeout, canceled, panic, internal.
 	Code string `json:"code,omitempty"`
 
-	status int // HTTP status a non-streaming response should carry
+	// Status is the HTTP status a non-streaming response should carry
+	// (coordinator and server both shape responses from events; not part
+	// of the wire form).
+	Status int `json:"-"`
 }
 
 // classify maps a job error to a stream code and HTTP status.
@@ -255,10 +263,13 @@ func classify(err error) (code string, status int) {
 	}
 }
 
-// buildStatus maps a request-build error to its HTTP status: a
+// BuildStatus maps a request-build error to its HTTP status: a
 // well-formed request naming an unknown engine model is semantically
 // unprocessable (422), everything else is a plain bad request (400).
-func buildStatus(err error) int {
+// Exported because the cluster coordinator validates requests with the
+// same request types and must reject them with the same statuses a
+// single node would.
+func BuildStatus(err error) int {
 	if errors.Is(err, cryptoengine.ErrUnknownEngine) {
 		return http.StatusUnprocessableEntity
 	}
@@ -267,7 +278,7 @@ func buildStatus(err error) int {
 
 func errEvent(err error) Event {
 	code, status := classify(err)
-	return Event{Event: "error", Error: err.Error(), Code: code, status: status}
+	return Event{Event: "error", Error: err.Error(), Code: code, Status: status}
 }
 
 // handleSim serves POST /v1/sim.
@@ -278,7 +289,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	}
 	bench, cfg, err := req.buildSim()
 	if err != nil {
-		httpError(w, buildStatus(err), err)
+		httpError(w, BuildStatus(err), err)
 		return
 	}
 	timeout, err := parseTimeout(req.Timeout, s.cfg.DefaultTimeout)
@@ -304,7 +315,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 	opt, err := req.buildExperiment(s.cfg.Workers)
 	if err != nil {
-		httpError(w, buildStatus(err), err)
+		httpError(w, BuildStatus(err), err)
 		return
 	}
 	timeout, err := parseTimeout(req.Timeout, s.cfg.DefaultTimeout)
@@ -341,7 +352,7 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, spec dispatchS
 	stream := wantsStream(r)
 
 	if !spec.noCache {
-		if body, ok := s.cache.get(spec.key); ok {
+		if body, ok := s.cache.Get(spec.key); ok {
 			s.cacheSrvd.Add(1)
 			if stream {
 				sw := newStreamWriter(w)
@@ -447,7 +458,7 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, spec dispatchS
 		w.Write(final.Snapshot)
 	case "error":
 		s.failed.Add(1)
-		writeJSON(w, final.status, final)
+		writeJSON(w, final.Status, final)
 	default:
 		httpError(w, http.StatusInternalServerError, errors.New("job produced no result"))
 	}
@@ -463,18 +474,30 @@ func (s *Server) meanJobLatency() time.Duration {
 	return time.Duration(uint64(s.jobDurNS.Load()) / n)
 }
 
+// coldStartWaveLatency stands in for the mean job latency before any
+// job has completed: with no signal yet, each wave of queued jobs is
+// assumed to take about a second, so a deep backlog still pushes the
+// hint out instead of telling every rejected client "retry in 1 s"
+// against a queue that cannot possibly drain that fast.
+const coldStartWaveLatency = time.Second
+
 // retryAfterSeconds turns pool occupancy and observed mean job latency
 // into a Retry-After hint for a saturated 429. A rejected client gets a
 // slot once enough jobs ahead of it finish for the backlog to open up;
 // jobs drain Workers at a time, so the (running + pending) occupancy
 // seen at rejection is Pending/Workers full waves behind the currently
 // running one, each taking about one mean latency. Before any job has
-// finished (no latency signal) the hint falls back to 1 s, which also
-// floors the result; 60 s caps it so a pathological backlog never tells
-// clients to go away for minutes.
+// finished there is no latency signal; the waves model still applies,
+// with coldStartWaveLatency standing in for the mean, so the hint keeps
+// scaling with backlog depth instead of degenerating to a constant.
+// 1 s floors the result; 60 s caps it so a pathological backlog never
+// tells clients to go away for minutes.
 func retryAfterSeconds(ps runpool.PoolStats, mean time.Duration) int {
-	if mean <= 0 || ps.Workers <= 0 {
+	if ps.Workers <= 0 {
 		return 1
+	}
+	if mean <= 0 {
+		mean = coldStartWaveLatency
 	}
 	waves := 1 + ps.Pending/ps.Workers
 	wait := time.Duration(waves) * mean
@@ -497,7 +520,7 @@ func (s *Server) execSim(ctx context.Context, bench string, cfg sim.Config, key 
 	m, err := sim.NewMachine(bench, cfg)
 	if err != nil {
 		ev := errEvent(err)
-		ev.Code, ev.status = "bad_request", http.StatusBadRequest
+		ev.Code, ev.Status = "bad_request", http.StatusBadRequest
 		emit(ev)
 		return
 	}
@@ -532,7 +555,7 @@ func (s *Server) execSim(ctx context.Context, bench string, cfg sim.Config, key 
 		return
 	}
 	if !noCache {
-		s.cache.put(key, body)
+		s.cache.Put(key, body)
 	}
 	emit(Event{Event: "result", Key: key, Snapshot: body})
 }
@@ -562,7 +585,7 @@ func (s *Server) execExperiment(ctx context.Context, id string, opt experiments.
 		return
 	}
 	if !noCache {
-		s.cache.put(key, body)
+		s.cache.Put(key, body)
 	}
 	emit(Event{Event: "result", Key: key, Snapshot: body})
 }
@@ -571,7 +594,7 @@ func (s *Server) execExperiment(ctx context.Context, id string, opt experiments.
 // fetch path of the cache.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
-	body, ok := s.cache.get(key)
+	body, ok := s.cache.Get(key)
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no cached result for %q", key))
 		return
@@ -644,15 +667,61 @@ func (s *Server) Snapshot() *stats.Snapshot {
 	pn.Counter("backlog", uint64(ps.Backlog))
 	pn.Counter("pending", uint64(ps.Pending))
 	pn.Counter("running", uint64(ps.Running))
+	// The gauges a load balancer steers by: how full the execution slots
+	// are (running/workers) and how deep the backlog sits behind them
+	// (pending/backlog; 0 when no backlog is configured).
+	pn.Value("occupancy", ps.Occupancy())
+	pn.Value("backlog_depth", backlogDepth(ps))
 
-	cs := s.cache.stats()
+	cs := s.cache.Stats()
 	cn := n.Child("cache")
-	cn.Counter("entries", uint64(cs.entries))
-	cn.Counter("capacity", uint64(max(cs.capacity, 0)))
-	cn.Counter("hits", cs.hits)
-	cn.Counter("misses", cs.misses)
-	cn.Counter("evictions", cs.evictions)
+	cn.Counter("entries", uint64(cs.Entries))
+	cn.Counter("capacity", uint64(max(cs.Capacity, 0)))
+	cn.Counter("hits", cs.Hits)
+	cn.Counter("misses", cs.Misses)
+	cn.Counter("evictions", cs.Evictions)
+
+	s.endpoints.addTo(n.Child("endpoints"))
 	return n
+}
+
+// backlogDepth is the fraction of the configured backlog in use, 0 when
+// the pool runs without one.
+func backlogDepth(ps runpool.PoolStats) float64 {
+	if ps.Backlog <= 0 {
+		return 0
+	}
+	return float64(ps.Pending) / float64(ps.Backlog)
+}
+
+// endpointCounters counts requests per route, keyed by a short stable
+// name so the /metrics tree stays deterministic as routes come and go.
+type endpointCounters struct {
+	mu     sync.Mutex
+	counts map[string]uint64
+}
+
+// counted wraps a handler so every invocation increments the named
+// endpoint's counter.
+func (e *endpointCounters) counted(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		e.mu.Lock()
+		if e.counts == nil {
+			e.counts = make(map[string]uint64)
+		}
+		e.counts[name]++
+		e.mu.Unlock()
+		h(w, r)
+	}
+}
+
+// addTo exports one counter per endpoint (serialization sorts by name).
+func (e *endpointCounters) addTo(n *stats.Snapshot) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for name, v := range e.counts {
+		n.Counter(name, v)
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -284,7 +284,9 @@ func TestQueueSaturationReturns429(t *testing.T) {
 
 // TestRetryAfterComputation pins the saturated-pool Retry-After hint:
 // occupancy and mean job latency in, whole seconds out, with the 1 s
-// floor (including the no-signal fallback) and 60 s cap.
+// floor and 60 s cap. Before any job has completed there is no latency
+// signal; the cold-start cases pin that the waves model still runs on
+// the 1 s-per-wave default instead of collapsing to a constant hint.
 func TestRetryAfterComputation(t *testing.T) {
 	cases := []struct {
 		name    string
@@ -293,7 +295,9 @@ func TestRetryAfterComputation(t *testing.T) {
 		mean    time.Duration
 		want    int
 	}{
-		{"no latency signal", 4, 8, 0, 1},
+		{"cold start, empty queue", 4, 0, 0, 1},
+		{"cold start scales with backlog", 4, 8, 0, 3}, // (1 + 8/4) waves × 1 s default
+		{"cold start deep backlog capped", 1, 1000, 0, 60},
 		{"no workers", 0, 0, time.Second, 1},
 		{"fast jobs floor at 1s", 4, 0, 50 * time.Millisecond, 1},
 		{"one wave rounds up", 4, 0, 1500 * time.Millisecond, 2},
@@ -539,10 +543,56 @@ func TestListingAndMetricsEndpoints(t *testing.T) {
 		t.Fatalf("GET metrics: %v", err)
 	}
 	metrics := readBody(t, resp)
-	for _, want := range []string{"sims_run", "pool", "cache"} {
+	for _, want := range []string{"sims_run", "pool", "cache", "occupancy", "backlog_depth", "endpoints"} {
 		if !strings.Contains(string(metrics), fmt.Sprintf("%q", want)) {
 			t.Fatalf("metrics payload missing %q: %.300s", want, metrics)
 		}
+	}
+}
+
+// TestEndpointCountersInMetrics pins the per-endpoint request counts:
+// every handled route shows up under the "endpoints" child with the
+// number of requests it served, and the tree stays deterministic JSON.
+func TestEndpointCountersInMetrics(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/v1/benchmarks")
+		if err != nil {
+			t.Fatalf("GET benchmarks: %v", err)
+		}
+		readBody(t, resp)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET healthz: %v", err)
+	}
+	readBody(t, resp)
+
+	ep := s.Snapshot().Lookup("endpoints")
+	if ep == nil {
+		t.Fatal("metrics tree has no endpoints child")
+	}
+	if got, ok := ep.CounterValue("benchmarks"); !ok || got != 3 {
+		t.Fatalf("endpoints.benchmarks = %d (present=%v), want 3", got, ok)
+	}
+	if got, ok := ep.CounterValue("healthz"); !ok || got != 1 {
+		t.Fatalf("endpoints.healthz = %d (present=%v), want 1", got, ok)
+	}
+
+	// Two exports of the endpoints subtree must agree byte for byte:
+	// the counters come out of a map, so serialization-time sorting is
+	// what keeps the JSON deterministic.
+	a, err := s.Snapshot().Lookup("endpoints").JSON()
+	if err != nil {
+		t.Fatalf("endpoints JSON: %v", err)
+	}
+	b, err := s.Snapshot().Lookup("endpoints").JSON()
+	if err != nil {
+		t.Fatalf("endpoints JSON: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("endpoints metrics JSON not deterministic across exports")
 	}
 }
 

@@ -5,6 +5,8 @@ package stats
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"strings"
 )
 
@@ -283,6 +285,30 @@ func GeoMean(vals []float64) float64 {
 		return 0
 	}
 	return nthRoot(prod, n)
+}
+
+// Percentile returns the q-th percentile (q in 0..1) of vals by the
+// nearest-rank method on a sorted copy: the smallest value such that at
+// least q of the samples are at or below it. Exact — no bucketing — so
+// the load-test harness reports true p50/p99 latencies; 0 for empty
+// input.
+func Percentile(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(q * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s[rank-1]
 }
 
 // Mean returns the arithmetic mean of vals (0 for empty input).

@@ -147,3 +147,25 @@ func TestGeoMeanBetweenMinMax(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 4, 2, 3}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.2, 1}, {0.5, 3}, {0.8, 4}, {0.99, 5}, {1, 5},
+	}
+	for _, tc := range cases {
+		if got := Percentile(vals, tc.q); got != tc.want {
+			t.Errorf("Percentile(%v, %g) = %g, want %g", vals, tc.q, got, tc.want)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(nil) = %g, want 0", got)
+	}
+	// The input must not be reordered in place.
+	if vals[0] != 5 || vals[4] != 3 {
+		t.Errorf("Percentile mutated its input: %v", vals)
+	}
+}
