@@ -16,7 +16,7 @@ GO ?= go
 BENCH_LABEL ?= local
 BENCH_FLAGS ?=
 
-.PHONY: build vet test race fuzz smoke loadtest-smoke loadtest verify bench
+.PHONY: build vet test race fuzz smoke loadtest-smoke loadtest chaos-smoke chaos verify bench
 
 build:
 	$(GO) build ./...
@@ -34,7 +34,7 @@ test:
 # the race detector too — engine models are shared state inside every
 # concurrently-run machine of a sweep.
 race:
-	$(GO) test -race ./internal/runpool ./internal/server ./internal/cryptoengine ./internal/cluster
+	$(GO) test -race ./internal/runpool ./internal/server ./internal/cryptoengine ./internal/cluster ./internal/chaos
 	$(GO) test -race ./internal/experiments -run 'Parallel|SweepProgress|SweepError|SweepCancel|SweepPreCancelled|SimTimeout|EnginesDeterministic'
 	$(GO) test -race ./internal/faults ./internal/secmem
 	$(GO) test -race ./internal/sim -run 'Tamper|Replay|Halt|CleanRunWithArmed|RunContextCancel'
@@ -58,6 +58,21 @@ loadtest:
 		| grep '^Benchmark' \
 		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' $(BENCH_FLAGS) -o BENCH_sim.json
 
+# The chaos analogue of loadtest-smoke: the same 2-worker cluster and
+# byte-identity assertions, but every coordinator->worker connection
+# runs through internal/chaos's fault-injecting transport. The clients
+# must still see only clean, identical answers.
+chaos-smoke:
+	$(GO) run ./cmd/loadtest -smoke -chaos 'latency:p=0.1,ms=50;err:p=0.1,status=503;corrupt:p=0.05' -chaos-seed 7
+
+# The full chaos load report, appended to the ledger under its own
+# benchmark family (resilience overhead, not clean-path throughput).
+chaos:
+	$(GO) run ./cmd/loadtest -nodes 1,2,4 -requests 8 -seeds 8 -clients 8 -bench \
+		-chaos 'latency:p=0.1,ms=50;err:p=0.1,status=503;corrupt:p=0.05' -chaos-seed 7 \
+		| grep '^Benchmark' \
+		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' $(BENCH_FLAGS) -o BENCH_sim.json
+
 # Short coverage-guided smoke of the integrity tree's update/verify/
 # corrupt interleavings; the committed seed corpus under
 # internal/integrity/testdata runs as regression tests in plain
@@ -65,7 +80,7 @@ loadtest:
 fuzz:
 	$(GO) test ./internal/integrity -run '^$$' -fuzz FuzzIntegrityTree -fuzztime 30s
 
-verify: build vet test race fuzz smoke loadtest-smoke
+verify: build vet test race fuzz smoke loadtest-smoke chaos-smoke
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . \

@@ -51,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"ctrpred/internal/chaos"
 	"ctrpred/internal/cluster"
 	"ctrpred/internal/server"
 )
@@ -76,9 +77,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		join      = fs.String("join", "", "coordinator base URL to register this worker with at startup")
 		advertise = fs.String("advertise", "", "base URL this worker is reachable at, for -join (default http://<listen addr>)")
 		fanout    = fs.Int("fanout", 0, "coordinator: max in-flight experiment cells (0 = 2 per worker)")
+		journal   = fs.String("journal", "", "coordinator: sweep-journal file; completed experiment cells persist here and survive restarts")
+		localFB   = fs.Bool("local-fallback", true, "coordinator: run jobs in-process when every worker is down instead of failing")
+		chaosStr  = fs.String("chaos", "", `fault-injection schedule (see internal/chaos), e.g. "latency:p=0.2,ms=500;err:p=0.1"; a coordinator injects on its worker connections, a worker on its served requests`)
+		chaosSeed = fs.Uint64("chaos-seed", 1, "seed for the -chaos schedule's deterministic draws")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	var inj *chaos.Injector
+	if *chaosStr != "" {
+		sched, err := chaos.Parse(*chaosStr)
+		if err != nil {
+			fmt.Fprintf(stderr, "ctrpredd: -chaos: %v\n", err)
+			return 2
+		}
+		inj = chaos.New(sched, *chaosSeed)
 	}
 
 	if *coord {
@@ -87,13 +102,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		urls := splitURLs(*workers)
-		c := cluster.New(cluster.Config{
-			Workers:      urls,
-			Fanout:       *fanout,
-			Backlog:      *queue,
-			CacheEntries: *cache,
-			DrainTimeout: *drain,
-		})
+		ccfg := cluster.Config{
+			Workers:              urls,
+			Fanout:               *fanout,
+			Backlog:              *queue,
+			CacheEntries:         *cache,
+			DrainTimeout:         *drain,
+			DisableLocalFallback: !*localFB,
+		}
+		if *journal != "" {
+			j, err := cluster.OpenJournal(*journal)
+			if err != nil {
+				fmt.Fprintf(stderr, "ctrpredd: -journal: %v\n", err)
+				return 1
+			}
+			defer j.Close()
+			ccfg.Journal = j
+			fmt.Fprintf(stdout, "ctrpredd: sweep journal %s holds %d cell(s)\n", *journal, j.Len())
+		}
+		if inj != nil {
+			// The coordinator's side of chaos: every connection it makes to
+			// a worker runs through the fault-injecting transport.
+			ccfg.HTTPClient = &http.Client{Transport: chaos.NewTransport(nil, inj)}
+			fmt.Fprintf(stdout, "ctrpredd: injecting faults on worker connections: %s (seed %d)\n", *chaosStr, *chaosSeed)
+		}
+		c := cluster.New(ccfg)
 		fmt.Fprintf(stdout, "ctrpredd coordinator over %d worker(s)\n", len(urls))
 		return serveLoop(c.ServeHTTP, c.Shutdown, *addr, *drain, stdout, stderr)
 	}
@@ -112,6 +145,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	s := server.New(cfg)
+	handler := http.Handler(s)
+	if inj != nil {
+		// The worker's side of chaos: served requests fault before,
+		// during, or after the real handler runs.
+		handler = chaos.Middleware(inj, s)
+		fmt.Fprintf(stdout, "ctrpredd: injecting faults on served requests: %s (seed %d)\n", *chaosStr, *chaosSeed)
+	}
 	onUp := func(base string) {
 		if *join == "" {
 			return
@@ -126,7 +166,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "ctrpredd: joined cluster at %s as %s\n", *join, self)
 	}
-	return serveLoopWith(s.ServeHTTP, s.Shutdown, *addr, *drain, stdout, stderr, onUp)
+	return serveLoopWith(handler.ServeHTTP, s.Shutdown, *addr, *drain, stdout, stderr, onUp)
 }
 
 // splitURLs parses the coordinator form of -workers.
@@ -163,12 +203,15 @@ func joinCluster(coordinator, self string) error {
 	if err != nil {
 		return err
 	}
+	// Explicit per-request timeout: a hung coordinator must not wedge a
+	// worker's startup indefinitely.
+	hc := &http.Client{Timeout: 5 * time.Second}
 	var lastErr error
 	for attempt := 0; attempt < 10; attempt++ {
 		if attempt > 0 {
 			time.Sleep(500 * time.Millisecond)
 		}
-		resp, err := http.Post(strings.TrimRight(coordinator, "/")+"/v1/cluster/join",
+		resp, err := hc.Post(strings.TrimRight(coordinator, "/")+"/v1/cluster/join",
 			"application/json", bytes.NewReader(body))
 		if err != nil {
 			lastErr = err

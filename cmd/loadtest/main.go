@@ -42,6 +42,7 @@ import (
 	"sync"
 	"time"
 
+	"ctrpred/internal/chaos"
 	"ctrpred/internal/cluster"
 	"ctrpred/internal/experiments"
 	"ctrpred/internal/server"
@@ -65,6 +66,9 @@ type options struct {
 	workerSlots int
 	bench       bool
 	smoke       bool
+	chaosSched  chaos.Schedule
+	chaosOn     bool
+	chaosSeed   uint64
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -82,6 +86,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		slots     = fs.Int("worker-slots", 2, "concurrent jobs per worker node")
 		benchOut  = fs.Bool("bench", false, "emit go test -bench result lines (pipe into cmd/benchjson)")
 		smoke     = fs.Bool("smoke", false, "quick 2-worker self-test: assert byte-identity and a >=95% warm-cache ratio, then exit")
+		chaosStr  = fs.String("chaos", "", `fault schedule injected on the coordinator's worker connections (see internal/chaos), e.g. "latency:p=0.1,ms=100;err:p=0.05"`)
+		chaosSeed = fs.Uint64("chaos-seed", 1, "seed for the -chaos schedule's deterministic draws")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -90,6 +96,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		clients: *clients, requests: *requests, seeds: *seeds,
 		id: *id, instr: *instr, footprint: *footprint,
 		workerSlots: *slots, bench: *benchOut, smoke: *smoke,
+		chaosSeed: *chaosSeed,
+	}
+	if *chaosStr != "" {
+		sched, err := chaos.Parse(*chaosStr)
+		if err != nil {
+			fmt.Fprintf(stderr, "loadtest: -chaos: %v\n", err)
+			return 2
+		}
+		opt.chaosSched, opt.chaosOn = sched, true
 	}
 	for _, b := range strings.Split(*benchesF, ",") {
 		if b = strings.TrimSpace(b); b != "" {
@@ -136,7 +151,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		report(stdout, opt, n, res, baseline)
 		if opt.bench {
-			emitBench(stdout, n, res)
+			emitBench(stdout, opt, n, res)
 		}
 		if opt.smoke {
 			if res.verifyMismatches > 0 {
@@ -216,12 +231,21 @@ func driveCluster(opt options, n int, stdout io.Writer) (result, error) {
 		workers[i] = httptest.NewServer(servers[i])
 		urls[i] = workers[i].URL
 	}
-	coord := cluster.New(cluster.Config{
+	ccfg := cluster.Config{
 		Workers:           urls,
 		MaxRetryWait:      200 * time.Millisecond,
 		SaturationRetries: 10_000, // saturation is expected under load; wait it out
 		Jobs:              2 * opt.clients,
-	})
+	}
+	if opt.chaosOn {
+		// Faults ride the coordinator's worker connections; a deeper
+		// redispatch budget absorbs the injected failures so the clients
+		// still see only clean answers.
+		ccfg.HTTPClient = &http.Client{Transport: chaos.NewTransport(nil, chaos.New(opt.chaosSched, opt.chaosSeed))}
+		ccfg.RetryBudget = 12
+		ccfg.BreakerCooldown = 250 * time.Millisecond
+	}
+	coord := cluster.New(ccfg)
 	front := httptest.NewServer(coord)
 	defer func() {
 		front.Close()
@@ -403,9 +427,15 @@ func report(w io.Writer, opt options, n int, res result, baseline float64) {
 }
 
 // emitBench prints the run in `go test -bench` line format so
-// cmd/benchjson can append it to the ledger.
-func emitBench(w io.Writer, n int, res result) {
+// cmd/benchjson can append it to the ledger. Chaos runs get their own
+// benchmark family: their latencies measure resilience overhead, not
+// clean-path throughput, and must not be compared against it.
+func emitBench(w io.Writer, opt options, n int, res result) {
+	name := "BenchmarkClusterSweepNodes"
+	if opt.chaosOn {
+		name = "BenchmarkClusterChaosNodes"
+	}
 	nsPerReq := int64(res.coldWall) / int64(res.requests)
-	fmt.Fprintf(w, "BenchmarkClusterSweepNodes%d \t%d\t%d ns/op\t%.2f req/s\t%.1f cold_p99_ms\t%.1f warm_p50_ms\t%.1f warm_hit_pct\n",
-		n, res.requests, nsPerReq, res.coldThroughput, res.coldP99, res.warmP50, 100*res.warmHitRatio)
+	fmt.Fprintf(w, "%s%d \t%d\t%d ns/op\t%.2f req/s\t%.1f cold_p99_ms\t%.1f warm_p50_ms\t%.1f warm_hit_pct\n",
+		name, n, res.requests, nsPerReq, res.coldThroughput, res.coldP99, res.warmP50, 100*res.warmHitRatio)
 }

@@ -28,22 +28,61 @@ func TestLoadtestSmoke(t *testing.T) {
 // number of fields after it ((value, unit) pairs following the
 // iteration count).
 func TestBenchLineShape(t *testing.T) {
-	var out strings.Builder
-	emitBench(&out, 2, result{
+	res := result{
 		requests:       8,
 		coldWall:       1e9,
 		coldThroughput: 8,
 		coldP99:        420.5,
 		warmP50:        1.2,
 		warmHitRatio:   1,
-	})
-	line := strings.TrimSpace(out.String())
-	if !strings.HasPrefix(line, "BenchmarkClusterSweepNodes2") {
-		t.Fatalf("bench line has wrong name: %q", line)
 	}
-	fields := strings.Fields(line)
-	if len(fields) < 4 || len(fields)%2 != 0 {
-		t.Fatalf("bench line has %d fields, want even and >= 4: %q", len(fields), line)
+	for _, tc := range []struct {
+		opt  options
+		name string
+	}{
+		{options{}, "BenchmarkClusterSweepNodes2"},
+		// Chaos runs report under their own family — resilience overhead
+		// must never be compared against clean-path throughput.
+		{options{chaosOn: true}, "BenchmarkClusterChaosNodes2"},
+	} {
+		var out strings.Builder
+		emitBench(&out, tc.opt, 2, res)
+		line := strings.TrimSpace(out.String())
+		if !strings.HasPrefix(line, tc.name) {
+			t.Fatalf("bench line has wrong name: %q, want %s", line, tc.name)
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			t.Fatalf("bench line has %d fields, want even and >= 4: %q", len(fields), line)
+		}
+	}
+}
+
+// TestChaosSmoke runs the harness's chaos shape: the same 2-worker
+// self-test with faults injected on every coordinator->worker
+// connection. Clean answers and byte-identity are still mandatory.
+func TestChaosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos smoke in -short mode")
+	}
+	var out, errOut strings.Builder
+	args := []string{"-smoke", "-requests", "8", "-clients", "4", "-seeds", "2", "-instr", "2000",
+		"-chaos", "latency:p=0.1,ms=20;err:p=0.1,status=503;corrupt:p=0.05", "-chaos-seed", "7"}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("loadtest -smoke -chaos = %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "loadtest smoke: PASS") {
+		t.Fatalf("missing PASS line:\n%s", out.String())
+	}
+}
+
+func TestBadChaosFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-chaos", "latency:nope=1"}, &out, &errOut); code != 2 {
+		t.Fatalf("run -chaos latency:nope=1 = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-chaos") {
+		t.Fatalf("stderr missing -chaos diagnosis: %s", errOut.String())
 	}
 }
 

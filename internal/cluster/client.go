@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"ctrpred/internal/server"
@@ -36,10 +38,35 @@ func (e *StatusError) Error() string {
 // come back later" — retryable on the same node after the hinted wait.
 func (e *StatusError) Saturated() bool { return e.Status == http.StatusTooManyRequests }
 
+// IntegrityError is a response body whose bytes do not match the
+// origin's X-Snapshot-Digest: the network (or an intermediary) lied.
+// The dispatch loop treats it like a failed dispatch — the body is
+// discarded and the job re-fetched — but not like a dead worker, so a
+// single flipped bit does not cost a node its ring traffic.
+type IntegrityError struct {
+	Node string
+	Want string // digest the origin attached
+	Got  string // digest of the bytes received
+}
+
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("response from %s failed integrity check: digest %.12s.. != advertised %.12s..", e.Node, e.Got, e.Want)
+}
+
+// ErrStreamStalled marks a streaming relay that went silent longer
+// than the client's idle window. Workers heartbeat far more often than
+// any idle window worth configuring, so silence means the worker (or
+// the path to it) is wedged.
+var ErrStreamStalled = errors.New("stream stalled")
+
 // Client is the coordinator's HTTP client for worker nodes. The zero
 // value is not usable; NewClient wires the transport.
 type Client struct {
 	hc *http.Client
+	// StreamIdle bounds the silence between consecutive events on a
+	// PostStream relay (0: unbounded). On expiry the stream is torn down
+	// and the call returns an error wrapping ErrStreamStalled.
+	StreamIdle time.Duration
 }
 
 // NewClient wraps an http.Client (nil: a default client with no global
@@ -90,6 +117,9 @@ func (c *Client) LookupResult(ctx context.Context, base, key string) ([]byte, bo
 		if err != nil {
 			return nil, false, err
 		}
+		if err := verifyDigest(base, resp.Header, body); err != nil {
+			return nil, false, err
+		}
 		return body, true, nil
 	case http.StatusNotFound:
 		return nil, false, nil
@@ -120,7 +150,24 @@ func (c *Client) PostJSON(ctx context.Context, base, path string, body []byte) (
 	if err != nil {
 		return nil, resp.Header, err
 	}
+	if err := verifyDigest(base, resp.Header, out); err != nil {
+		return nil, resp.Header, err
+	}
 	return out, resp.Header, nil
+}
+
+// verifyDigest checks a body against the X-Snapshot-Digest header the
+// origin attached, when it attached one. Responses without the header
+// (older workers, error bodies) pass through unchecked.
+func verifyDigest(node string, h http.Header, body []byte) error {
+	want := server.SnapshotDigest(h)
+	if want == "" {
+		return nil
+	}
+	if got := server.BodyDigest(body); got != want {
+		return &IntegrityError{Node: node, Want: want, Got: got}
+	}
+	return nil
 }
 
 // PostStream sends a JSON job with streaming enabled and relays each
@@ -129,6 +176,28 @@ func (c *Client) PostJSON(ctx context.Context, base, path string, body []byte) (
 // or error) is the stream's outcome; a transport error mid-stream means
 // the worker died with the job in flight.
 func (c *Client) PostStream(ctx context.Context, base, path string, body []byte, onEvent func(server.Event, json.RawMessage) error) error {
+	// The idle watchdog cancels the request context when the stream goes
+	// silent for StreamIdle; decoding then fails and the error is
+	// rewrapped as ErrStreamStalled so callers can tell a wedged worker
+	// from a cancelled job.
+	var stalled atomic.Bool
+	var watchdog *time.Timer
+	if c.StreamIdle > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		watchdog = time.AfterFunc(c.StreamIdle, func() {
+			stalled.Store(true)
+			cancel()
+		})
+		defer watchdog.Stop()
+	}
+	wrapStall := func(err error) error {
+		if stalled.Load() {
+			return fmt.Errorf("%w: no events from %s within %s: %v", ErrStreamStalled, base, c.StreamIdle, err)
+		}
+		return err
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path+"?stream=1", bytes.NewReader(body))
 	if err != nil {
 		return err
@@ -136,7 +205,7 @@ func (c *Client) PostStream(ctx context.Context, base, path string, body []byte,
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return wrapStall(err)
 	}
 	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
@@ -149,7 +218,10 @@ func (c *Client) PostStream(ctx context.Context, base, path string, body []byte,
 			if err == io.EOF {
 				return nil
 			}
-			return err
+			return wrapStall(err)
+		}
+		if watchdog != nil {
+			watchdog.Reset(c.StreamIdle)
 		}
 		var ev server.Event
 		if err := json.Unmarshal(raw, &ev); err != nil {

@@ -58,6 +58,38 @@ type Config struct {
 	DrainTimeout time.Duration
 	// HTTPClient overrides the transport to workers (nil: default).
 	HTTPClient *http.Client
+	// CellTimeout bounds one cell dispatch attempt (0: 60 s). A cell
+	// still unanswered at the deadline counts as a failed dispatch and
+	// fails over.
+	CellTimeout time.Duration
+	// HedgeAfter is the hedging trigger: how long a cell dispatch may
+	// run before a speculative duplicate goes to the next ring
+	// candidate, first canonical response winning. 0 adapts the trigger
+	// to 2× the observed p90 cell latency (off until enough samples
+	// exist); > 0 fixes it; < 0 disables hedging.
+	HedgeAfter time.Duration
+	// LookupTimeout bounds one peer GET /v1/results/{key} probe (0: 2 s)
+	// so a stalled worker cannot wedge a cache-recovery sweep.
+	LookupTimeout time.Duration
+	// StreamIdleTimeout bounds the silence between events on a relayed
+	// worker stream (0: 15 s; < 0: unbounded). Workers heartbeat every
+	// few hundred milliseconds, so a silent stream is a wedged worker;
+	// on expiry the relay fails over.
+	StreamIdleTimeout time.Duration
+	// BreakerCooldown is the per-worker circuit breaker's open window:
+	// how long a marked-down worker waits before a half-open trial
+	// dispatch may probe it (0: 5 s).
+	BreakerCooldown time.Duration
+	// Journal, when set, records every completed sweep cell durably and
+	// is consulted before dispatching one — a restarted coordinator
+	// resumes a grid re-running zero finished cells.
+	Journal *Journal
+	// DisableLocalFallback turns off degraded mode. By default a
+	// coordinator whose every dispatch candidate is exhausted runs the
+	// job locally, in-process, behind a warning metric — an answer late
+	// beats an error during a full outage. Disabled, the job fails with
+	// ErrDispatchExhausted.
+	DisableLocalFallback bool
 }
 
 func (cfg Config) withDefaults() Config {
@@ -99,6 +131,18 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 5 * time.Second
+	}
+	if cfg.CellTimeout <= 0 {
+		cfg.CellTimeout = 60 * time.Second
+	}
+	if cfg.LookupTimeout <= 0 {
+		cfg.LookupTimeout = 2 * time.Second
+	}
+	if cfg.StreamIdleTimeout == 0 {
+		cfg.StreamIdleTimeout = 15 * time.Second
+	}
+	if cfg.StreamIdleTimeout < 0 {
+		cfg.StreamIdleTimeout = 0
 	}
 	return cfg
 }
@@ -149,6 +193,17 @@ type Coordinator struct {
 	failovers  atomic.Uint64 // redispatches to another worker
 	peerHits   atomic.Uint64 // results recovered via GET /v1/results
 
+	hedges        atomic.Uint64 // speculative duplicate dispatches issued
+	hedgeWins     atomic.Uint64 // races the hedge won
+	corruptBodies atomic.Uint64 // responses discarded on digest mismatch
+	journalHits   atomic.Uint64 // cells answered from the sweep journal
+	journalApp    atomic.Uint64 // cells appended to the sweep journal
+	localRuns     atomic.Uint64 // degraded-mode in-process executions
+
+	// cellLat tracks successful cell dispatch latencies for the
+	// adaptive hedge trigger.
+	cellLat latencyTracker
+
 	jobDurNS atomic.Int64
 	jobsDone atomic.Uint64
 }
@@ -158,10 +213,12 @@ type Coordinator struct {
 func New(cfg Config) *Coordinator {
 	cfg = cfg.withDefaults()
 	jobsCtx, hardStop := context.WithCancel(context.Background())
+	client := NewClient(cfg.HTTPClient)
+	client.StreamIdle = cfg.StreamIdleTimeout
 	c := &Coordinator{
 		cfg:      cfg,
-		reg:      NewRegistry(cfg.VNodes, cfg.FailThreshold),
-		client:   NewClient(cfg.HTTPClient),
+		reg:      NewRegistry(cfg.VNodes, cfg.FailThreshold, cfg.BreakerCooldown),
+		client:   client,
 		pool:     runpool.NewPool(cfg.Jobs, cfg.Backlog),
 		cache:    server.NewResultCache(cfg.CacheEntries),
 		mux:      http.NewServeMux(),
@@ -470,7 +527,7 @@ func (c *Coordinator) execForward(ctx context.Context, path string, body []byte,
 		}
 		cands := c.reg.Candidates(key)
 		if len(cands) == 0 {
-			emit(errorEvent("unavailable", http.StatusServiceUnavailable, errors.New("no workers registered")))
+			c.forwardFallback(ctx, path, body, key, noCache, emit, errors.New("no workers registered"))
 			return
 		}
 		node := cands[redispatch%len(cands)]
@@ -515,15 +572,49 @@ func (c *Coordinator) execForward(ctx context.Context, path string, body []byte,
 			emit(workerErrEvent(se))
 			return
 		}
+		if isIntegrityError(err) {
+			c.corruptBodies.Add(1)
+		}
 		c.reg.ReportFailure(node, err, transportFailure(err))
 		c.failovers.Add(1)
 		redispatch++
 		if redispatch > c.cfg.RetryBudget {
-			emit(errorEvent("unavailable", http.StatusBadGateway,
-				fmt.Errorf("job failed after %d dispatches: %w", redispatch, lastErr)))
+			cause := fmt.Errorf("%w: job failed after %d dispatches: %v", ErrDispatchExhausted, redispatch, lastErr)
+			if len(c.reg.Up()) == 0 {
+				// Every worker is down and the budget is spent: degraded
+				// mode (unless disabled) answers locally rather than 502ing
+				// a deterministic job the coordinator can compute itself.
+				c.forwardFallback(ctx, path, body, key, noCache, emit, cause)
+				return
+			}
+			emit(errorEvent("unavailable", http.StatusBadGateway, cause))
 			return
 		}
 	}
+}
+
+// forwardFallback resolves a whole-job dispatch that ran out of
+// cluster: degraded-mode local execution when allowed, the typed
+// exhaustion error otherwise.
+func (c *Coordinator) forwardFallback(ctx context.Context, path string, body []byte, key string, noCache bool, emit func(server.Event), cause error) {
+	if c.cfg.DisableLocalFallback {
+		if !errors.Is(cause, ErrDispatchExhausted) {
+			cause = fmt.Errorf("%w: %v", ErrDispatchExhausted, cause)
+		}
+		emit(errorEvent("unavailable", http.StatusBadGateway, cause))
+		return
+	}
+	c.localRuns.Add(1)
+	out, err := server.ExecuteLocal(ctx, path, body)
+	if err != nil {
+		code, status := server.Classify(err)
+		emit(errorEvent(code, status, fmt.Errorf("degraded local run: %w", err)))
+		return
+	}
+	if !noCache {
+		c.cache.Put(key, out)
+	}
+	emit(server.Event{Event: "result", Key: key, Snapshot: out})
 }
 
 // relayPlain forwards one plain POST to node and emits the terminal
@@ -566,10 +657,13 @@ func (c *Coordinator) relayStream(ctx context.Context, node, path string, body [
 				// The stream embeds the snapshot compacted; the canonical
 				// indented body lives in the worker's cache. Cache that, so a
 				// later plain request through the coordinator returns exactly
-				// what a single node would have.
-				if canon, ok, err := c.client.LookupResult(ctx, node, key); err == nil && ok {
+				// what a single node would have. Deadlined: recovering the
+				// canonical form is an optimization, not worth wedging on.
+				lctx, cancel := context.WithTimeout(ctx, c.cfg.LookupTimeout)
+				if canon, ok, err := c.client.LookupResult(lctx, node, key); err == nil && ok {
 					c.cache.Put(key, canon)
 				}
+				cancel()
 			}
 			emit(ev)
 		case "error":
@@ -665,14 +759,49 @@ func (c *Coordinator) execPartitioned(ctx context.Context, req server.Experiment
 	emit(server.Event{Event: "result", Key: key, Snapshot: body})
 }
 
-// runCell runs one cell to completion somewhere on the cluster and
-// returns its snapshot body. The cell goes to the worker owning its
-// content address; a 429 waits out the worker's Retry-After (with
-// jitter, bounded by SaturationRetries) before failing over; a dead
-// worker is marked down and the cell requeues on the next ring
-// candidate — after probing the cluster's caches, since the dying
-// worker may have finished and a peer may hold the bytes.
+// ErrDispatchExhausted is the typed failure of a job whose bounded
+// redispatch budget ran out without an answer (and, with the local
+// fallback disabled, whose degraded mode was off). Callers can
+// errors.Is against it to tell "the cluster cannot serve this" from
+// "the job itself is bad".
+var ErrDispatchExhausted = errors.New("dispatch budget exhausted")
+
+// runCell runs one cell to completion and returns its snapshot body:
+// sweep journal first (a resumed grid re-runs zero finished cells),
+// then the cluster, journaling whatever the dispatch produced.
 func (c *Coordinator) runCell(ctx context.Context, body []byte, key string, noCache bool) ([]byte, error) {
+	if j := c.cfg.Journal; j != nil {
+		if b, ok := j.Get(key); ok {
+			c.journalHits.Add(1)
+			return b, nil
+		}
+	}
+	out, err := c.dispatchCell(ctx, body, key, noCache)
+	if err != nil {
+		return nil, err
+	}
+	if j := c.cfg.Journal; j != nil {
+		if jerr := j.Put(key, out); jerr == nil {
+			c.journalApp.Add(1)
+		}
+		// A failed append is not a failed cell: the result is in hand,
+		// only resumability degrades.
+	}
+	return out, nil
+}
+
+// dispatchCell runs one cell somewhere on the cluster. The cell goes
+// to the worker owning its content address under a per-attempt
+// deadline, with a speculative hedge to the next ring candidate when
+// the attempt runs long (see hedgedPost); a 429 waits out the worker's
+// Retry-After (with jitter, bounded by SaturationRetries) before
+// failing over; a corrupt body (digest mismatch) is discarded and
+// re-fetched; a dead worker is marked down and the cell requeues on
+// the next ring candidate — after probing the cluster's caches, since
+// the dying worker may have finished and a peer may hold the bytes.
+// When the budget runs out with every worker down, degraded mode runs
+// the cell in-process (unless disabled).
+func (c *Coordinator) dispatchCell(ctx context.Context, body []byte, key string, noCache bool) ([]byte, error) {
 	redispatch, satRetries := 0, 0
 	var lastErr error
 	for {
@@ -681,25 +810,29 @@ func (c *Coordinator) runCell(ctx context.Context, body []byte, key string, noCa
 		}
 		cands := c.reg.Candidates(key)
 		if len(cands) == 0 {
-			return nil, errors.New("no workers registered")
+			return c.cellFallback(ctx, body, errors.New("no workers registered"))
 		}
 		node := cands[redispatch%len(cands)]
+		backup := ""
+		if len(cands) > 1 {
+			backup = cands[(redispatch+1)%len(cands)]
+		}
 		if redispatch > 0 && !noCache {
 			if b, ok := c.peerLookup(ctx, key); ok {
 				c.peerHits.Add(1)
 				return b, nil
 			}
 		}
-		c.reg.NoteDispatch(node)
-		out, hdr, err := c.client.PostJSON(ctx, node, "/v1/experiments", body)
-		if err == nil {
-			c.reg.ReportSuccess(node)
+		res := c.hedgedPost(ctx, node, backup, "/v1/experiments", body)
+		if res.err == nil {
+			c.reg.ReportSuccess(res.node)
 			c.cellsOK.Add(1)
-			if hdr.Get("X-Cache") == "hit" {
+			if res.hdr.Get("X-Cache") == "hit" {
 				c.cellsCache.Add(1)
 			}
-			return out, nil
+			return res.out, nil
 		}
+		err := res.err
 		lastErr = err
 
 		var se *StatusError
@@ -719,24 +852,58 @@ func (c *Coordinator) runCell(ctx context.Context, body []byte, key string, noCa
 				return nil, err
 			}
 		}
-		c.reg.ReportFailure(node, err, transportFailure(err))
+		if isIntegrityError(err) {
+			c.corruptBodies.Add(1)
+		}
+		c.reg.ReportFailure(res.node, err, transportFailure(err))
 		c.failovers.Add(1)
 		redispatch++
 		if redispatch > c.cfg.RetryBudget {
-			return nil, fmt.Errorf("failed after %d dispatches: %w", redispatch, lastErr)
+			cause := fmt.Errorf("%w: cell failed after %d dispatches: %v", ErrDispatchExhausted, redispatch, lastErr)
+			if len(c.reg.Up()) == 0 {
+				return c.cellFallback(ctx, body, cause)
+			}
+			return nil, cause
 		}
 	}
 }
 
+// cellFallback resolves a cell that ran out of cluster: degraded-mode
+// local execution when allowed, the typed exhaustion error otherwise.
+func (c *Coordinator) cellFallback(ctx context.Context, body []byte, cause error) ([]byte, error) {
+	if c.cfg.DisableLocalFallback {
+		if errors.Is(cause, ErrDispatchExhausted) {
+			return nil, cause
+		}
+		return nil, fmt.Errorf("%w: %v", ErrDispatchExhausted, cause)
+	}
+	c.localRuns.Add(1)
+	out, err := server.ExecuteLocal(ctx, "/v1/experiments", body)
+	if err != nil {
+		return nil, fmt.Errorf("degraded local run: %w", err)
+	}
+	return out, nil
+}
+
 // peerLookup asks the cluster for an already-computed result, home
-// worker first, then the rest of the ring sequence.
+// worker first, then the rest of the ring sequence. Each probe is
+// individually deadlined so one stalled worker cannot wedge the sweep.
 func (c *Coordinator) peerLookup(ctx context.Context, key string) ([]byte, bool) {
 	for _, node := range c.reg.Candidates(key) {
-		if b, ok, err := c.client.LookupResult(ctx, node, key); err == nil && ok {
+		lctx, cancel := context.WithTimeout(ctx, c.cfg.LookupTimeout)
+		b, ok, err := c.client.LookupResult(lctx, node, key)
+		cancel()
+		if err == nil && ok {
 			return b, true
 		}
 	}
 	return nil, false
+}
+
+// isIntegrityError reports whether err is a digest-mismatch discard.
+func isIntegrityError(err error) bool {
+	var ie *IntegrityError
+	return errors.As(err, &ie)
 }
 
 // backoff is the saturation wait: the worker's Retry-After hint when it
@@ -746,7 +913,15 @@ func (c *Coordinator) peerLookup(ctx context.Context, key string) ([]byte, bool)
 func (c *Coordinator) backoff(hint time.Duration, attempt int) time.Duration {
 	wait := hint
 	if wait <= 0 {
-		wait = 50 * time.Millisecond << (attempt - 1)
+		// Clamp the exponent: the ramp is capped by MaxRetryWait anyway,
+		// and an unchecked shift overflows time.Duration into zero-length
+		// waits (a hot spin) once attempt grows past ~40 — loadtest runs
+		// with SaturationRetries in the thousands.
+		shift := attempt - 1
+		if shift > 6 {
+			shift = 6
+		}
+		wait = 50 * time.Millisecond << shift
 	}
 	if wait > c.cfg.MaxRetryWait {
 		wait = c.cfg.MaxRetryWait
@@ -858,15 +1033,28 @@ func (c *Coordinator) handleExperimentList(w http.ResponseWriter, r *http.Reques
 func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
 	code := http.StatusOK
-	if c.isDraining() {
+	all, up := len(c.reg.All()), len(c.reg.Up())
+	switch {
+	case c.isDraining():
 		status = "draining"
 		code = http.StatusServiceUnavailable
+	case c.degraded():
+		// Every worker is down: still serving (local fallback, caches),
+		// but an operator should know.
+		status = "degraded"
 	}
 	writeJSON(w, code, map[string]any{
 		"status":     status,
-		"workers":    len(c.reg.All()),
-		"workers_up": len(c.reg.Up()),
+		"workers":    all,
+		"workers_up": up,
 	})
+}
+
+// degraded reports whether the coordinator has workers registered but
+// none of them up — the state in which dispatches end in local
+// fallback (or typed errors).
+func (c *Coordinator) degraded() bool {
+	return len(c.reg.All()) > 0 && len(c.reg.Up()) == 0
 }
 
 // Snapshot exports the coordinator's counters as a metrics tree: job
@@ -886,12 +1074,24 @@ func (c *Coordinator) Snapshot() *stats.Snapshot {
 	n.Counter("experiments_forwarded", c.expsFwd.Load())
 	n.Value("uptime_seconds", time.Since(c.start).Seconds())
 
+	degraded := uint64(0)
+	if c.degraded() {
+		degraded = 1
+	}
+	n.Counter("degraded", degraded)
+	n.Counter("local_runs", c.localRuns.Load())
+
 	cn := n.Child("cells")
 	cn.Counter("completed", c.cellsOK.Load())
 	cn.Counter("worker_cache_hits", c.cellsCache.Load())
 	cn.Counter("saturation_retries", c.satRetries.Load())
 	cn.Counter("failovers", c.failovers.Load())
 	cn.Counter("peer_hits", c.peerHits.Load())
+	cn.Counter("hedges", c.hedges.Load())
+	cn.Counter("hedge_wins", c.hedgeWins.Load())
+	cn.Counter("corrupt_bodies", c.corruptBodies.Load())
+	cn.Counter("journal_hits", c.journalHits.Load())
+	cn.Counter("journal_appends", c.journalApp.Load())
 
 	ps := c.pool.Stats()
 	pn := n.Child("pool")
@@ -991,10 +1191,15 @@ func statusForCode(code string) int {
 // transportFailure reports whether err looks like the worker process is
 // gone (connection-level failure) rather than an HTTP-level complaint —
 // gone workers are marked down immediately instead of waiting out the
-// probe threshold.
+// probe threshold. A digest mismatch is neither: the worker answered,
+// the bytes were wrong, so it counts toward the threshold like any
+// HTTP-level failure instead of costing the node its traffic at once.
 func transportFailure(err error) bool {
 	var se *StatusError
-	return !errors.As(err, &se)
+	if errors.As(err, &se) {
+		return false
+	}
+	return !isIntegrityError(err)
 }
 
 // wireUpdate mirrors the single node's update framing for cell

@@ -16,6 +16,7 @@ import (
 
 	"ctrpred/internal/experiments"
 	"ctrpred/internal/server"
+	"ctrpred/internal/testutil"
 	"ctrpred/internal/workload"
 )
 
@@ -32,6 +33,9 @@ var testBenches = []string{"gzip", "mcf", "swim"}
 // newWorker boots one real single-node server behind httptest.
 func newWorker(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
 	t.Helper()
+	// Registered before the server cleanups below, so (cleanups being
+	// LIFO) the leak check runs after shutdown has reaped everything.
+	testutil.VerifyNoLeaks(t)
 	if cfg.Workers == 0 {
 		cfg.Workers = 2
 	}
@@ -54,6 +58,7 @@ func newWorker(t *testing.T, cfg server.Config) (*server.Server, *httptest.Serve
 // mark-downs.
 func newCluster(t *testing.T, n int, cfg Config) (*Coordinator, *httptest.Server, []*httptest.Server) {
 	t.Helper()
+	testutil.VerifyNoLeaks(t)
 	workers := make([]*httptest.Server, n)
 	for i := range workers {
 		_, workers[i] = newWorker(t, server.Config{})

@@ -11,17 +11,28 @@ import (
 // state, and per-worker dispatch counters. Dispatch paths report
 // outcomes; the health prober (coordinator.go) reports probe results;
 // both flow through the same mark-down/mark-up logic so a worker's
-// state has one definition.
+// state has one definition: a per-worker circuit breaker.
+//
+// The breaker has the classic three states. Closed (up): traffic flows,
+// consecutive failures count toward the threshold. Open (down): no
+// traffic for a cooldown window; further failures (probes, strays)
+// refresh the window. Half-open: the cooldown expired, so Candidates
+// offers the worker again — as a failover candidate behind the closed
+// ones — and the first dispatch is the trial; success closes the
+// breaker, failure re-opens it for another cooldown. The prober's
+// successful probe also closes it, so revival does not wait for
+// traffic when probing is enabled.
 //
 // Down workers stay on the ring — key ownership must not churn on a
 // transient outage, or every blip would cold-start the caches — but
-// Candidates skips them, so traffic routes around a down worker to the
-// next node clockwise until the prober brings it back.
+// Candidates skips open workers, so traffic routes around a down
+// worker to the next node clockwise until the breaker lets it back.
 type Registry struct {
 	mu            sync.Mutex
 	ring          *Ring
 	workers       map[string]*workerState
 	failThreshold int
+	cooldown      time.Duration
 }
 
 type workerState struct {
@@ -32,17 +43,42 @@ type workerState struct {
 	consecFails int
 	lastErr     string
 	lastChange  time.Time
+	// openUntil is when the breaker's cooldown expires; trial marks the
+	// single half-open probe dispatch as taken.
+	openUntil time.Time
+	trial     bool
 
 	dispatched uint64 // cells/jobs sent to this worker
 	failures   uint64 // dispatch and probe failures observed
 	markDowns  uint64 // times this worker was marked down
 }
 
+// state renders the breaker state at time now.
+func (w *workerState) state(now time.Time) string {
+	switch {
+	case !w.down:
+		return "up"
+	case now.Before(w.openUntil):
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// halfOpenReady reports whether the worker may receive its half-open
+// trial dispatch at time now.
+func (w *workerState) halfOpenReady(now time.Time) bool {
+	return w.down && !w.trial && !now.Before(w.openUntil)
+}
+
 // WorkerInfo is one worker's state as reported by Workers — the
 // topology and metrics view.
 type WorkerInfo struct {
-	URL        string `json:"url"`
-	Down       bool   `json:"down"`
+	URL  string `json:"url"`
+	Down bool   `json:"down"`
+	// State is the breaker state: "up", "open" (cooling down), or
+	// "half-open" (eligible for a trial dispatch).
+	State      string `json:"state"`
 	LastError  string `json:"last_error,omitempty"`
 	Dispatched uint64 `json:"dispatched"`
 	Failures   uint64 `json:"failures"`
@@ -52,14 +88,20 @@ type WorkerInfo struct {
 // NewRegistry creates an empty registry. failThreshold is how many
 // consecutive failures mark a worker down (<= 0: 2 — one failure could
 // be the victim of a mid-request kill; two in a row is a pattern).
-func NewRegistry(vnodes, failThreshold int) *Registry {
+// cooldown is the breaker's open window before a half-open trial
+// (<= 0: 5 s).
+func NewRegistry(vnodes, failThreshold int, cooldown time.Duration) *Registry {
 	if failThreshold <= 0 {
 		failThreshold = 2
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
 	}
 	return &Registry{
 		ring:          NewRing(vnodes),
 		workers:       make(map[string]*workerState),
 		failThreshold: failThreshold,
+		cooldown:      cooldown,
 	}
 }
 
@@ -87,22 +129,32 @@ func (g *Registry) Add(url string) bool {
 	w.down = false
 	w.consecFails = 0
 	w.lastErr = ""
+	w.trial = false
 	w.lastChange = time.Now()
 	return false
 }
 
-// Candidates returns the up workers that should run key's job, in
-// failover order: the key's home first, then successive nodes clockwise
-// on the ring. When every worker is down it returns the full sequence
-// anyway — dispatching into a possibly-recovering cluster beats
-// refusing all work on the prober's say-so.
+// Candidates returns the workers that should run key's job, in
+// failover order: the closed (up) workers first — the key's home, then
+// successive nodes clockwise on the ring — then any half-open workers
+// whose breaker cooldown has expired and whose trial is unclaimed, so
+// a recovering node re-earns traffic as a failover target before it
+// carries primaries again. When every worker is open it returns the
+// full sequence anyway — dispatching into a possibly-recovering
+// cluster beats refusing all work on the breaker's say-so.
 func (g *Registry) Candidates(key string) []string {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	now := time.Now()
 	seq := g.ring.Sequence(key, g.ring.Len())
 	up := make([]string, 0, len(seq))
 	for _, url := range seq {
 		if w := g.workers[url]; w != nil && !w.down {
+			up = append(up, url)
+		}
+	}
+	for _, url := range seq {
+		if w := g.workers[url]; w != nil && w.halfOpenReady(now) {
 			up = append(up, url)
 		}
 	}
@@ -140,17 +192,22 @@ func (g *Registry) All() []string {
 	return out
 }
 
-// NoteDispatch counts a job sent to url.
+// NoteDispatch counts a job sent to url. Dispatching to a half-open
+// worker claims its single trial slot, so concurrent cells cannot pile
+// onto a node that has yet to prove it recovered.
 func (g *Registry) NoteDispatch(url string) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if w := g.workers[normalizeURL(url)]; w != nil {
 		w.dispatched++
+		if w.halfOpenReady(time.Now()) {
+			w.trial = true
+		}
 	}
 }
 
-// ReportSuccess records a successful interaction: the worker is up and
-// its failure streak resets.
+// ReportSuccess records a successful interaction: the breaker closes,
+// the worker is up, and its failure streak resets.
 func (g *Registry) ReportSuccess(url string) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -164,12 +221,15 @@ func (g *Registry) ReportSuccess(url string) {
 	w.down = false
 	w.consecFails = 0
 	w.lastErr = ""
+	w.trial = false
 }
 
 // ReportFailure records a failed interaction (dispatch error or probe
 // failure) and reports whether the worker is now down. immediate
 // short-circuits the threshold — a connection refused means the process
 // is gone, and waiting out more probes would send it more doomed work.
+// A failure on an already-open breaker (a failed half-open trial, a
+// probe miss) re-arms the cooldown window.
 func (g *Registry) ReportFailure(url string, err error, immediate bool) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -177,6 +237,7 @@ func (g *Registry) ReportFailure(url string, err error, immediate bool) bool {
 	if w == nil {
 		return false
 	}
+	now := time.Now()
 	w.failures++
 	w.consecFails++
 	if err != nil {
@@ -185,7 +246,11 @@ func (g *Registry) ReportFailure(url string, err error, immediate bool) bool {
 	if !w.down && (immediate || w.consecFails >= g.failThreshold) {
 		w.down = true
 		w.markDowns++
-		w.lastChange = time.Now()
+		w.lastChange = now
+	}
+	if w.down {
+		w.openUntil = now.Add(g.cooldown)
+		w.trial = false
 	}
 	return w.down
 }
@@ -194,10 +259,11 @@ func (g *Registry) ReportFailure(url string, err error, immediate bool) bool {
 func (g *Registry) Workers() []WorkerInfo {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	now := time.Now()
 	out := make([]WorkerInfo, 0, len(g.workers))
 	for _, w := range g.workers {
 		out = append(out, WorkerInfo{
-			URL: w.url, Down: w.down, LastError: w.lastErr,
+			URL: w.url, Down: w.down, State: w.state(now), LastError: w.lastErr,
 			Dispatched: w.dispatched, Failures: w.failures, MarkDowns: w.markDowns,
 		})
 	}

@@ -119,7 +119,7 @@ func TestRingSequenceDistinctAndHomeFirst(t *testing.T) {
 }
 
 func TestRegistryMarkDownAndRevive(t *testing.T) {
-	g := NewRegistry(0, 2)
+	g := NewRegistry(0, 2, 0)
 	g.Add("http://a:1")
 	g.Add("http://b:1")
 	errBoom := errors.New("boom")
@@ -159,7 +159,7 @@ func TestRegistryMarkDownAndRevive(t *testing.T) {
 }
 
 func TestRegistryImmediateMarkDown(t *testing.T) {
-	g := NewRegistry(0, 3)
+	g := NewRegistry(0, 3, 0)
 	g.Add("http://a:1/")
 	// Trailing slash normalizes away: same worker.
 	if g.Add("http://a:1") {

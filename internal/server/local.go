@@ -1,0 +1,118 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"ctrpred/internal/experiments"
+	"ctrpred/internal/runpool"
+	"ctrpred/internal/sha256"
+	"ctrpred/internal/sim"
+)
+
+// snapshotDigestHeader carries the hex SHA-256 of a canonical snapshot
+// body on every plain JSON result, so relays (the cluster coordinator)
+// can verify the bytes they received are the bytes the origin computed
+// and treat a corrupted body as a transport failure instead of an
+// answer.
+const snapshotDigestHeader = "X-Snapshot-Digest"
+
+// BodyDigest returns the hex SHA-256 of a response body: the value of
+// the X-Snapshot-Digest header a server attaches to plain results and
+// a relay verifies before trusting them.
+func BodyDigest(b []byte) string {
+	return fmt.Sprintf("%x", sha256.Sum256(b))
+}
+
+// Classify maps a job error to its stream error code and HTTP status —
+// the same mapping the server's own handlers use. Exported so the
+// cluster coordinator's degraded-mode local execution shapes errors
+// exactly as a worker would have.
+func Classify(err error) (code string, status int) { return classify(err) }
+
+// badRequestError marks an ExecuteLocal failure as the request's fault
+// (malformed body, unknown benchmark), so Classify maps it to the same
+// status a worker's HTTP handler would have returned instead of a 500.
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
+func badRequest(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &badRequestError{err: err}
+}
+
+// ExecuteLocal runs a job request body in-process, bypassing HTTP and
+// the job pool: the cluster coordinator's degraded-mode fallback when
+// every worker is down. path selects the job type ("/v1/sim" or
+// "/v1/experiments"); body is the same JSON a worker would have
+// received. The returned bytes are the canonical snapshot JSON —
+// byte-identical to what a healthy worker would have served, because a
+// run is fully determined by its configuration.
+//
+// All errors classify via Classify: bad bodies map to the same 4xx a
+// worker's HTTP handler would have sent, run failures to their usual
+// codes.
+func ExecuteLocal(ctx context.Context, path string, body []byte) ([]byte, error) {
+	switch path {
+	case "/v1/sim":
+		var req SimRequest
+		if err := decodeStrict(body, &req); err != nil {
+			return nil, badRequest(err)
+		}
+		bench, cfg, err := req.buildSim()
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		m, err := sim.NewMachine(bench, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := m.RunContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return res.Snapshot().JSON()
+	case "/v1/experiments":
+		var req ExperimentRequest
+		if err := decodeStrict(body, &req); err != nil {
+			return nil, badRequest(err)
+		}
+		opt, err := req.buildExperiment(runpool.DefaultWorkers())
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		res, err := experiments.ByID(ctx, req.ID, opt)
+		if err != nil {
+			return nil, err
+		}
+		return res.Snapshot().JSON()
+	default:
+		return nil, badRequest(fmt.Errorf("local execution supports /v1/sim and /v1/experiments, not %q", path))
+	}
+}
+
+func decodeStrict(body []byte, dst any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("request body: %w", err)
+	}
+	return nil
+}
+
+// SetSnapshotDigest stamps the integrity digest of a canonical
+// snapshot body onto a response's headers.
+func SetSnapshotDigest(h http.Header, body []byte) {
+	h.Set(snapshotDigestHeader, BodyDigest(body))
+}
+
+// SnapshotDigest reads the integrity digest from response headers
+// ("" when the origin attached none).
+func SnapshotDigest(h http.Header) string { return h.Get(snapshotDigestHeader) }

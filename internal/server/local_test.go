@@ -1,0 +1,112 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestSnapshotDigestHeader: every plain JSON result body — fresh,
+// cached, and fetched by key — advertises its own sha256 so relays can
+// verify integrity end to end.
+func TestSnapshotDigestHeader(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := smallReq()
+
+	resp := postJSON(t, ts.URL+"/v1/sim", req)
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	digest := SnapshotDigest(resp.Header)
+	if digest == "" {
+		t.Fatal("fresh result carries no X-Snapshot-Digest")
+	}
+	if want := BodyDigest(body); digest != want {
+		t.Fatalf("advertised digest %s != body digest %s", digest, want)
+	}
+	key := resp.Header.Get("X-Result-Key")
+
+	// The cache-hit path advertises the same digest over the same bytes.
+	resp2 := postJSON(t, ts.URL+"/v1/sim", req)
+	body2 := readBody(t, resp2)
+	if resp2.Header.Get("X-Cache") != "hit" {
+		t.Fatal("second request missed the cache")
+	}
+	if got := SnapshotDigest(resp2.Header); got != digest {
+		t.Fatalf("cached digest %s != fresh digest %s", got, digest)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Fatal("cached body differs from the fresh one")
+	}
+
+	// So does the by-key result endpoint peers use.
+	resp3, err := http.Get(ts.URL + "/v1/results/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body3 := readBody(t, resp3)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("GET by key: status %d", resp3.StatusCode)
+	}
+	if got := SnapshotDigest(resp3.Header); got != digest {
+		t.Fatalf("by-key digest %s != fresh digest %s", got, digest)
+	}
+	if !bytes.Equal(body, body3) {
+		t.Fatal("by-key body differs from the fresh one")
+	}
+}
+
+// TestExecuteLocal: the degraded-mode entry point must produce bytes
+// identical to the HTTP path for the same request, and classify bad
+// input the same way the handlers do.
+func TestExecuteLocal(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := smallReq()
+	viaHTTP := readBody(t, postJSON(t, ts.URL+"/v1/sim", req))
+
+	body, _ := json.Marshal(req)
+	local, err := ExecuteLocal(context.Background(), "/v1/sim", body)
+	if err != nil {
+		t.Fatalf("ExecuteLocal(/v1/sim): %v", err)
+	}
+	if !bytes.Equal(local, viaHTTP) {
+		t.Error("local sim differs from the HTTP run")
+	}
+
+	expReq := ExperimentRequest{
+		ID: "fig7", Benchmarks: []string{"gzip"},
+		Instructions: 30_000, Footprint: "64K", Seed: 7, Workers: 2,
+	}
+	expHTTP := readBody(t, postJSON(t, ts.URL+"/v1/experiments", expReq))
+	expBody, _ := json.Marshal(expReq)
+	localExp, err := ExecuteLocal(context.Background(), "/v1/experiments", expBody)
+	if err != nil {
+		t.Fatalf("ExecuteLocal(/v1/experiments): %v", err)
+	}
+	if !bytes.Equal(localExp, expHTTP) {
+		t.Error("local experiment differs from the HTTP run")
+	}
+
+	for _, tc := range []struct {
+		name, path string
+		body       string
+		wantStatus int
+	}{
+		{"unknown path", "/v1/nope", "{}", http.StatusBadRequest},
+		{"bad json", "/v1/sim", "{", http.StatusBadRequest},
+		{"unknown field", "/v1/sim", `{"wat":1}`, http.StatusBadRequest},
+		{"unknown bench", "/v1/sim", `{"bench":"nope","scheme":"baseline"}`, http.StatusBadRequest},
+	} {
+		_, err := ExecuteLocal(context.Background(), tc.path, []byte(tc.body))
+		if err == nil {
+			t.Errorf("%s: ExecuteLocal succeeded; want an error", tc.name)
+			continue
+		}
+		if _, status := Classify(err); status != tc.wantStatus {
+			t.Errorf("%s: classified as %d; want %d (err: %v)", tc.name, status, tc.wantStatus, err)
+		}
+	}
+}

@@ -244,7 +244,12 @@ type Event struct {
 func classify(err error) (code string, status int) {
 	var serr *secmem.SecurityError
 	var perr *runpool.PanicError
+	var berr *badRequestError
 	switch {
+	case errors.As(err, &berr):
+		// Only ExecuteLocal produces these; the HTTP handlers reject bad
+		// requests before a job ever runs.
+		return "bad_request", BuildStatus(berr.err)
 	case errors.As(err, &serr):
 		if serr.Kind == secmem.KindSelfCheck {
 			return "self_check", http.StatusInternalServerError
@@ -363,6 +368,7 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, spec dispatchS
 			w.Header().Set("Content-Type", "application/json")
 			w.Header().Set("X-Cache", "hit")
 			w.Header().Set("X-Result-Key", spec.key)
+			SetSnapshotDigest(w.Header(), body)
 			w.Write(body)
 			return
 		}
@@ -455,6 +461,7 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, spec dispatchS
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Cache", "miss")
 		w.Header().Set("X-Result-Key", spec.key)
+		SetSnapshotDigest(w.Header(), final.Snapshot)
 		w.Write(final.Snapshot)
 	case "error":
 		s.failed.Add(1)
@@ -602,6 +609,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	s.cacheSrvd.Add(1)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", "hit")
+	SetSnapshotDigest(w.Header(), body)
 	w.Write(body)
 }
 

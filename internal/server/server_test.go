@@ -15,6 +15,7 @@ import (
 
 	"ctrpred/internal/runpool"
 	"ctrpred/internal/sim"
+	"ctrpred/internal/testutil"
 )
 
 // newTestServer boots a Server behind httptest and tears both down in
@@ -22,6 +23,10 @@ import (
 // close the listener.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
+	// Registered before the cleanups below: cleanups run LIFO, so the
+	// leak check fires after shutdown has reaped stream writers, drain
+	// watchers, and pool workers.
+	testutil.VerifyNoLeaks(t)
 	s := New(cfg)
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {

@@ -169,3 +169,29 @@ func TestPercentile(t *testing.T) {
 		t.Errorf("Percentile mutated its input: %v", vals)
 	}
 }
+
+func TestPercentileEdgeCases(t *testing.T) {
+	// A single sample is every percentile, including the out-of-range
+	// quantiles (clamped, not extrapolated or panicking).
+	one := []float64{42}
+	for _, q := range []float64{-1, 0, 0.01, 0.5, 0.99, 1, 2} {
+		if got := Percentile(one, q); got != 42 {
+			t.Errorf("Percentile([42], %g) = %g, want 42", q, got)
+		}
+	}
+	// Empty input is 0 at every quantile, never an index panic.
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := Percentile(nil, q); got != 0 {
+			t.Errorf("Percentile(nil, %g) = %g, want 0", q, got)
+		}
+	}
+	// Two samples: the median is the lower by nearest-rank, anything
+	// past 0.5 is the upper.
+	two := []float64{7, 3}
+	if got := Percentile(two, 0.5); got != 3 {
+		t.Errorf("Percentile(%v, 0.5) = %g, want 3", two, got)
+	}
+	if got := Percentile(two, 0.51); got != 7 {
+		t.Errorf("Percentile(%v, 0.51) = %g, want 7", two, got)
+	}
+}

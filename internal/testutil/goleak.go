@@ -1,0 +1,121 @@
+// Package testutil holds shared test plumbing. Its only resident so
+// far is the goroutine-leak check the server and cluster e2e suites
+// run: streaming relays, drains, and chaos failovers all spawn
+// goroutines that must not outlive their jobs.
+package testutil
+
+import (
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// VerifyNoLeaks snapshots the goroutines alive now and registers a
+// cleanup that fails the test if, at teardown, new goroutines running
+// this module's code still exist. Call it FIRST in a test (or helper):
+// cleanups run LIFO, so registering first means the check runs last,
+// after the test's own teardowns (server shutdowns, httptest closes)
+// have had their chance to reap everything.
+//
+// The check only counts stacks that mention "ctrpred/" — the runtime
+// and net/http keep service goroutines (idle keep-alive conns, timer
+// scavengers) alive across tests, and flagging those would make every
+// test flaky. It also polls with a grace window before failing:
+// goroutine teardown is asynchronous, and a stack observed mid-exit is
+// not a leak.
+func VerifyNoLeaks(t testing.TB) {
+	t.Helper()
+	before := stackCount()
+	t.Cleanup(func() {
+		if t.Failed() {
+			// The test already failed; a leak report would bury the real
+			// error, and aborted paths legitimately strand goroutines.
+			return
+		}
+		http.DefaultClient.CloseIdleConnections()
+		http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked []string
+		for {
+			leaked = leakedStacks(before)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d goroutine(s) running ctrpred code outlived the test:\n%s",
+			len(leaked), strings.Join(leaked, "\n---\n"))
+	})
+}
+
+// stackCount counts goroutines whose stacks run this module's code.
+func stackCount() map[string]int {
+	counts := make(map[string]int)
+	for _, s := range moduleStacks() {
+		counts[stackKey(s)]++
+	}
+	return counts
+}
+
+// leakedStacks returns the module-code stacks present now in excess of
+// the baseline, grouped by creation site.
+func leakedStacks(baseline map[string]int) []string {
+	seen := make(map[string]int)
+	var leaked []string
+	for _, s := range moduleStacks() {
+		k := stackKey(s)
+		seen[k]++
+		if seen[k] > baseline[k] {
+			leaked = append(leaked, s)
+		}
+	}
+	return leaked
+}
+
+// moduleStacks dumps all goroutine stacks and keeps the ones that
+// mention this module's packages.
+func moduleStacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []string
+	for _, s := range strings.Split(string(buf), "\n\n") {
+		if strings.Contains(s, "ctrpred/") && !strings.Contains(s, "testutil.") {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// stackKey reduces a stack to its goroutine-creation site plus top
+// frame package, so counts compare like with like across dumps.
+func stackKey(stack string) string {
+	lines := strings.Split(stack, "\n")
+	key := ""
+	for _, l := range lines {
+		if strings.HasPrefix(l, "created by ") {
+			key = strings.TrimSpace(l)
+			// Drop the varying " in goroutine N" suffix (Go 1.21+), else
+			// no baseline key would ever match a later dump's.
+			if i := strings.Index(key, " in goroutine "); i >= 0 {
+				key = key[:i]
+			}
+			break
+		}
+	}
+	if key == "" && len(lines) > 1 {
+		key = strings.TrimSpace(lines[1])
+	}
+	return key
+}
