@@ -16,7 +16,7 @@ GO ?= go
 BENCH_LABEL ?= local
 BENCH_FLAGS ?=
 
-.PHONY: build vet test race fuzz smoke loadtest-smoke loadtest chaos-smoke chaos verify bench
+.PHONY: build vet test race fuzz smoke loadtest-smoke loadtest chaos-smoke chaos capacity-smoke verify bench
 
 build:
 	$(GO) build ./...
@@ -34,8 +34,8 @@ test:
 # the race detector too — engine models are shared state inside every
 # concurrently-run machine of a sweep.
 race:
-	$(GO) test -race ./internal/runpool ./internal/server ./internal/cryptoengine ./internal/cluster ./internal/chaos
-	$(GO) test -race ./internal/experiments -run 'Parallel|SweepProgress|SweepError|SweepCancel|SweepPreCancelled|SimTimeout|EnginesDeterministic'
+	$(GO) test -race ./internal/runpool ./internal/server ./internal/cryptoengine ./internal/cluster ./internal/chaos ./internal/tenancy
+	$(GO) test -race ./internal/experiments -run 'Parallel|SweepProgress|SweepError|SweepCancel|SweepPreCancelled|SimTimeout|EnginesDeterministic|TenantsDeterministic'
 	$(GO) test -race ./internal/faults ./internal/secmem
 	$(GO) test -race ./internal/sim -run 'Tamper|Replay|Halt|CleanRunWithArmed|RunContextCancel'
 
@@ -73,6 +73,17 @@ chaos:
 		| grep '^Benchmark' \
 		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' $(BENCH_FLAGS) -o BENCH_sim.json
 
+# Determinism smoke of the capacity planner: the same tiny capacity
+# grid swept sequentially and with four workers must produce identical
+# metrics snapshots — the search's convergence contract.
+capacity-smoke:
+	$(GO) run ./cmd/experiments -exp capacity -bench gzip -instr 5000 -maxtenants 3 \
+		-progress=false -j 1 -metrics /tmp/ctrpred_capacity_j1.json >/dev/null
+	$(GO) run ./cmd/experiments -exp capacity -bench gzip -instr 5000 -maxtenants 3 \
+		-progress=false -j 4 -metrics /tmp/ctrpred_capacity_j4.json >/dev/null
+	cmp /tmp/ctrpred_capacity_j1.json /tmp/ctrpred_capacity_j4.json
+	rm -f /tmp/ctrpred_capacity_j1.json /tmp/ctrpred_capacity_j4.json
+
 # Short coverage-guided smoke of the integrity tree's update/verify/
 # corrupt interleavings; the committed seed corpus under
 # internal/integrity/testdata runs as regression tests in plain
@@ -80,7 +91,7 @@ chaos:
 fuzz:
 	$(GO) test ./internal/integrity -run '^$$' -fuzz FuzzIntegrityTree -fuzztime 30s
 
-verify: build vet test race fuzz smoke loadtest-smoke chaos-smoke
+verify: build vet test race fuzz smoke loadtest-smoke chaos-smoke capacity-smoke
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . \

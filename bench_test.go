@@ -346,6 +346,49 @@ func BenchmarkHybridPrefetch(b *testing.B) {
 	b.ReportMetric(res.Series["normalized_ipc"]["prediction-only"], "pred_ipc")
 }
 
+// BenchmarkTenants runs the multi-tenant interference matrix: each
+// benchmark solo, mixed against a background tenant on a seeded
+// arrival schedule, with retained predictor state, and against an
+// adversarial co-tenant. Headline metrics: clean-mix and adversarial
+// slowdown in global virtual time.
+func BenchmarkTenants(b *testing.B) {
+	opt := benchOptions()
+	opt.Benchmarks = []string{"gzip", "mcf"}
+	opt.Scale.Instructions = 20_000
+	var res ExperimentResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = RunExperiment("tenants", opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printTable(b, "tenants", res)
+	b.ReportMetric(res.Series["Mix_Slowdown"]["Average"], "mix_slowdown_avg")
+	b.ReportMetric(res.Series["Adv_Slowdown"]["Average"], "adv_slowdown_avg")
+}
+
+// BenchmarkCapacity runs the capacity-planning search: the largest
+// co-tenant count per scheme that still meets a slowdown ≤ 8 SLO.
+func BenchmarkCapacity(b *testing.B) {
+	opt := benchOptions()
+	opt.Benchmarks = []string{"gzip", "mcf"}
+	opt.Scale.Instructions = 20_000
+	opt.MaxTenants = 6
+	opt.SLOMaxSlowdown = 8
+	var res ExperimentResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = RunExperiment("capacity", opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printTable(b, "capacity", res)
+	b.ReportMetric(res.Series["Combined_32K"]["Average"], "combined_capacity_avg")
+	b.ReportMetric(res.Series["Pred"]["Average"], "pred_capacity_avg")
+}
+
 // BenchmarkValuePrediction regenerates the Section 9.3 comparison with
 // load-value prediction.
 func BenchmarkValuePrediction(b *testing.B) {

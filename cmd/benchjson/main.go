@@ -148,17 +148,35 @@ const regressionThreshold = 0.10
 // returns one warning line per metric that moved more than
 // regressionThreshold in the wrong direction. Throughput units
 // (anything ending in "/s") regress downward; cost units (ns/op, B/op,
-// allocs/op, …) regress upward. Benchmarks present in only one run are
-// skipped — there is nothing to compare.
+// allocs/op, …) regress upward. A benchmark present in only one run
+// has no numbers to compare, but its appearance or disappearance is
+// itself worth a line: two consecutive entries with disjoint suites
+// (it happened — a cluster-only run following a chaos-only run) would
+// otherwise diff as "no movement" when really nothing was compared at
+// all.
 func compareRuns(prev, cur RunEntry) []string {
 	prevBy := make(map[string]Benchmark, len(prev.Benchmarks))
 	for _, b := range prev.Benchmarks {
 		prevBy[b.Name] = b
 	}
+	curBy := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curBy[b.Name] = b
+	}
 	var warnings []string
+	for _, b := range prev.Benchmarks {
+		if _, ok := curBy[b.Name]; !ok {
+			warnings = append(warnings, fmt.Sprintf(
+				"%s removed: present in %q (%s) but not in this run",
+				b.Name, prev.Label, prev.Date))
+		}
+	}
 	for _, b := range cur.Benchmarks {
 		pb, ok := prevBy[b.Name]
 		if !ok {
+			warnings = append(warnings, fmt.Sprintf(
+				"%s added: no baseline in %q (%s) to compare against",
+				b.Name, prev.Label, prev.Date))
 			continue
 		}
 		for unit, v := range b.Metrics {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -56,8 +57,10 @@ func TestCheckLabelRejectsDuplicates(t *testing.T) {
 
 // TestCompareRuns pins the regression-warning logic: cost metrics warn
 // when they rise >10%, throughput metrics when they fall >10%, moves
-// inside the threshold and improvements stay quiet, and benchmarks or
-// units without a counterpart are skipped.
+// inside the threshold and improvements stay quiet. A benchmark present
+// in only one run is reported as added or removed (units without a
+// counterpart are still skipped silently — a new b.ReportMetric is not
+// a suite change).
 func TestCompareRuns(t *testing.T) {
 	prev := RunEntry{Label: "before", Date: "2026-01-01T00:00:00Z", Benchmarks: []Benchmark{
 		{Name: "Hot", Metrics: map[string]float64{"ns/op": 100, "sim_instrs/s": 10_000_000, "B/op": 1000}},
@@ -68,15 +71,20 @@ func TestCompareRuns(t *testing.T) {
 			"ns/op":        125,       // +25%: cost regression, warn
 			"sim_instrs/s": 8_000_000, // -20%: throughput regression, warn
 			"B/op":         1050,      // +5%: inside threshold, quiet
-			"allocs/op":    999,       // no counterpart in prev, skip
+			"allocs/op":    999,       // no counterpart unit in prev, skip
 		}},
-		{Name: "New", Metrics: map[string]float64{"ns/op": 1}}, // no counterpart, skip
+		{Name: "New", Metrics: map[string]float64{"ns/op": 1}}, // report as added
 	}}
 	warnings := compareRuns(prev, cur)
-	if len(warnings) != 2 {
-		t.Fatalf("got %d warnings %v, want 2", len(warnings), warnings)
+	if len(warnings) != 4 {
+		t.Fatalf("got %d warnings %v, want 4", len(warnings), warnings)
 	}
-	for _, want := range []string{"ns/op regressed +25.0%", "sim_instrs/s regressed -20.0%"} {
+	for _, want := range []string{
+		"ns/op regressed +25.0%",
+		"sim_instrs/s regressed -20.0%",
+		"New added",
+		"Gone removed",
+	} {
 		found := false
 		for _, w := range warnings {
 			if strings.Contains(w, want) {
@@ -88,12 +96,59 @@ func TestCompareRuns(t *testing.T) {
 		}
 	}
 
-	// Improvements never warn, in either direction.
+	// Improvements never warn, in either direction; only the dropped
+	// benchmark is reported.
 	better := RunEntry{Label: "faster", Benchmarks: []Benchmark{
 		{Name: "Hot", Metrics: map[string]float64{"ns/op": 50, "sim_instrs/s": 20_000_000}},
 	}}
-	if w := compareRuns(prev, better); len(w) != 0 {
-		t.Errorf("improvement produced warnings: %v", w)
+	if w := compareRuns(prev, better); len(w) != 1 || !strings.Contains(w[0], "Gone removed") {
+		t.Errorf("improvement run: warnings = %v, want only the removal of Gone", w)
+	}
+}
+
+// TestCompareRunsDisjointSuites reproduces the ledger shape that
+// motivated the added/removed reporting: the pr8-cluster entry
+// (ClusterSweepNodes1/2/4) followed by the pr9-chaos entry
+// (ClusterChaosNodes1/2/4) share no benchmark at all. The old
+// compareRuns returned nothing — indistinguishable from "compared
+// everything, no movement" — where it must now say every benchmark
+// changed hands.
+func TestCompareRunsDisjointSuites(t *testing.T) {
+	m := func() map[string]float64 { return map[string]float64{"ns/op": 1e9, "sim_instrs/s": 1e7} }
+	prev := RunEntry{Label: "pr8-cluster", Date: "2026-01-01T00:00:00Z", Benchmarks: []Benchmark{
+		{Name: "ClusterSweepNodes1", Metrics: m()},
+		{Name: "ClusterSweepNodes2", Metrics: m()},
+		{Name: "ClusterSweepNodes4", Metrics: m()},
+	}}
+	cur := RunEntry{Label: "pr9-chaos", Benchmarks: []Benchmark{
+		{Name: "ClusterChaosNodes1", Metrics: m()},
+		{Name: "ClusterChaosNodes2", Metrics: m()},
+		{Name: "ClusterChaosNodes4", Metrics: m()},
+	}}
+	warnings := compareRuns(prev, cur)
+	if len(warnings) != 6 {
+		t.Fatalf("got %d warnings %v, want 6 (3 added + 3 removed)", len(warnings), warnings)
+	}
+	for _, n := range []int{1, 2, 4} {
+		wantAdd := "ClusterChaosNodes" + strconv.Itoa(n) + " added"
+		wantGone := "ClusterSweepNodes" + strconv.Itoa(n) + " removed"
+		for _, want := range []string{wantAdd, wantGone} {
+			found := false
+			for _, w := range warnings {
+				if strings.Contains(w, want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no warning containing %q in %v", want, warnings)
+			}
+		}
+	}
+	// No spurious metric regressions between unrelated benchmarks.
+	for _, w := range warnings {
+		if strings.Contains(w, "regressed") {
+			t.Errorf("disjoint suites produced a metric regression: %q", w)
+		}
 	}
 }
 

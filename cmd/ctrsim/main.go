@@ -6,6 +6,7 @@
 //	ctrsim -bench mcf -scheme pred-context -l2 256K -instr 1000000
 //	ctrsim -bench mcf -metrics run.json     # full metrics tree as JSON
 //	ctrsim -bench gzip -faults 'bitflip@fetch:100' -recovery quarantine
+//	ctrsim -tenants gzip,mcf -arrival bursty -quantum 5000
 //	ctrsim -list
 //
 // Schemes: baseline, oracle, seqcache:<size>, pred-regular,
@@ -14,10 +15,19 @@
 // engine timing model (aes, aes:lat=48, sealer, sealer:banks=8,
 // bipbip); see the README's engine-model table.
 //
+// -tenants switches to multi-tenant mode: each listed benchmark becomes
+// a tenant (own key domain, seeded -seed, -seed+1, …) with the shared
+// machine configuration and a per-tenant budget of -instr instructions,
+// interleaved by the -arrival process. A -faults plan arms the *last*
+// tenant as the adversary (implying -integrity and quarantine recovery
+// for it). The report carries per-tenant SLO percentiles, degradation
+// and slowdown; -slo-p99 / -slo-slowdown declare bounds to judge them.
+//
 // Exit codes: 0 clean run, 2 usage or run error, 3 security halt.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -54,6 +64,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faultsF = fs.String("faults", "", "attack plan, e.g. 'bitflip@fetch:100,replay@instr:50000' (implies -integrity)")
 		recov   = fs.String("recovery", "halt", "recovery policy on detected tampering: halt|quarantine")
 		metrics = fs.String("metrics", "", "write the metrics snapshot to this path (JSON; a .csv suffix selects CSV; '-' = stdout)")
+		tenants = fs.String("tenants", "", "comma-separated benchmarks to run as interleaved tenants (multi-tenant mode; -bench is ignored)")
+		arrival = fs.String("arrival", "poisson", "tenancy arrival process: poisson|bursty")
+		quantum = fs.Uint64("quantum", 0, "tenancy timeslice cap in instructions (0 = budget/16)")
+		retain  = fs.Bool("retain-pred", false, "retain predictor transient state across context switches (save/restore with process context)")
+		sloSlow = fs.Float64("slo-slowdown", 0, "tenancy SLO: max end-to-end slowdown vs solo (0 = unconstrained)")
+		sloP99  = fs.Float64("slo-p99", 0, "tenancy SLO: max p99 fetch latency in cycles (0 = unconstrained)")
 		pprof   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		list    = fs.Bool("list", false, "list benchmarks and exit")
 		verbose = fs.Bool("v", false, "print extended statistics")
@@ -115,6 +131,59 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else if *mode != "performance" {
 		return fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
+
+	if *tenants != "" {
+		// Multi-tenant mode. The flush default stays 0 here: the schedule's
+		// context switches drive all eviction traffic, so the interference
+		// counters attribute cleanly to switch-in disturbance.
+		if *flush != 0 {
+			cfg.Mem.FlushInterval = *flush
+		}
+		if *integ {
+			cfg = cfg.WithIntegrity()
+		}
+		kind, err := ctrpred.ParseArrival(*arrival)
+		if err != nil {
+			return fatal(err)
+		}
+		scn := ctrpred.TenancyScenario{
+			Kind: kind, Quantum: *quantum, Seed: *seed, RetainPredictor: *retain,
+			SLO: ctrpred.TenancySLO{MaxSlowdown: *sloSlow, P99FetchLatency: *sloP99},
+		}
+		names := strings.Split(*tenants, ",")
+		for i, raw := range names {
+			name := strings.TrimSpace(raw)
+			if name == "" {
+				return fatal(fmt.Errorf("empty tenant name in -tenants %q", *tenants))
+			}
+			tcfg := cfg.WithSeed(*seed + uint64(i))
+			if *faultsF != "" && i == len(names)-1 {
+				// The last tenant is the adversary: armed with the attack
+				// plan, quarantine recovery so its slices complete.
+				plan, err := ctrpred.ParseFaultPlan(*faultsF)
+				if err != nil {
+					return fatal(err)
+				}
+				tcfg = tcfg.WithIntegrity().WithFaults(&plan).WithRecovery(ctrpred.RecoveryQuarantine)
+			}
+			scn.Tenants = append(scn.Tenants, ctrpred.TenancyTenant{Bench: name, Config: tcfg})
+		}
+		rep, err := ctrpred.RunTenancy(context.Background(), scn)
+		if err != nil {
+			if errors.Is(err, ctrpred.ErrUnknownBenchmark) {
+				return fatal(fmt.Errorf("%v\nrun 'ctrsim -list' for the benchmark set", err))
+			}
+			return fatal(err)
+		}
+		printTenancy(stdout, rep)
+		if *metrics != "" {
+			if err := writeMetrics(stdout, *metrics, rep.Snapshot()); err != nil {
+				return fatal(err)
+			}
+		}
+		return 0
+	}
+
 	if *flush != 0 {
 		cfg.Mem.FlushInterval = *flush
 	} else {
@@ -186,6 +255,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// printTenancy reports a multi-tenant scenario: the aggregate SLO line
+// followed by one line per tenant.
+func printTenancy(w io.Writer, rep ctrpred.TenancyReport) {
+	fmt.Fprintf(w, "tenants            %d\n", len(rep.Tenants))
+	fmt.Fprintf(w, "switches/slices    %d/%d\n", rep.Switches, rep.Slices)
+	fmt.Fprintf(w, "global cycles      %d\n", rep.GlobalCycles)
+	fmt.Fprintf(w, "agg fetch p50/p99  %.0f/%.0f cycles\n", rep.AggP50FetchLatency, rep.AggP99FetchLatency)
+	fmt.Fprintf(w, "slowdown mean/max  %.2f/%.2f\n", rep.MeanSlowdown, rep.MaxSlowdown)
+	fmt.Fprintf(w, "degradation mean/max %.3f/%.3f\n", rep.MeanDegradation, rep.MaxDegradation)
+	fmt.Fprintf(w, "meets SLO          %v\n", rep.MeetsSLO)
+	for i, tr := range rep.Tenants {
+		slo := ""
+		if !tr.MeetsSLO {
+			slo = " MISSES-SLO"
+		}
+		fmt.Fprintf(w, "tenant%02d %-9s ipc=%.4f solo=%.4f deg=%.3f slow=%.2f p50/p99=%.0f/%.0f sw=%d%s\n",
+			i, tr.Bench, tr.IPC, tr.SoloIPC, tr.Degradation, tr.Slowdown,
+			tr.P50FetchLatency, tr.P99FetchLatency, tr.Switches, slo)
+	}
 }
 
 // printSecurity reports the adversarial side of a run — injected and

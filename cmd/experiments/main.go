@@ -40,7 +40,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiment ids (table1, fig4, fig7..fig16, ablation, ctxswitch, integrity, hybrid, seqsweep, valuepred, attack, engines) or 'all'")
+		exps     = flag.String("exp", "all", "comma-separated experiment ids (table1, fig4, fig7..fig16, ablation, ctxswitch, integrity, hybrid, seqsweep, valuepred, attack, engines, tenants, capacity) or 'all'")
 		engine   = flag.String("engine", "aes", "cipher engine model every simulation runs under: aes[:lat=N,issue=N]|sealer[:banks=N,lat=N]|bipbip[:lat=N] (ignored by the 'engines' experiment, which sweeps them)")
 		instr    = flag.Uint64("instr", 0, "per-run instruction budget (0 = default)")
 		foot     = flag.String("footprint", "", "workload footprint with optional K/M suffix, e.g. 8M (empty = default)")
@@ -49,6 +49,10 @@ func main() {
 		jobs     = flag.Int("j", 0, "concurrent simulations per sweep (0 = one per CPU)")
 		timeout  = flag.Duration("simtimeout", 0, "per-simulation deadline (0 = none), e.g. 30s")
 		metrics  = flag.String("metrics", "", "write every experiment's metrics snapshot to this path (JSON; a .csv suffix selects CSV; '-' = stdout)")
+		arrival  = flag.String("arrival", "poisson", "tenancy experiments' arrival process: poisson|bursty")
+		maxTen   = flag.Int("maxtenants", 0, "capacity experiment's search ceiling (0 = default 8)")
+		sloSlow  = flag.Float64("slo-slowdown", 0, "capacity SLO: max end-to-end slowdown vs solo (0 = default 8)")
+		sloP99   = flag.Float64("slo-p99", 0, "capacity SLO: max p99 fetch latency in cycles (0 = unconstrained)")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		progress = flag.Bool("progress", true, "print per-simulation progress/timing lines to stderr")
 	)
@@ -71,6 +75,14 @@ func main() {
 		fatal(err)
 	}
 	opt.Engine = eng
+	kind, err := ctrpred.ParseArrival(*arrival)
+	if err != nil {
+		fatal(err)
+	}
+	opt.Arrival = kind
+	opt.MaxTenants = *maxTen
+	opt.SLOMaxSlowdown = *sloSlow
+	opt.SLOP99Fetch = *sloP99
 	if *instr != 0 {
 		opt.Scale.Instructions = *instr
 	}

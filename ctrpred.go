@@ -45,6 +45,7 @@ import (
 	"ctrpred/internal/secmem"
 	"ctrpred/internal/sim"
 	"ctrpred/internal/stats"
+	"ctrpred/internal/tenancy"
 	"ctrpred/internal/workload"
 )
 
@@ -117,6 +118,24 @@ type (
 	EngineSpec = cryptoengine.Spec
 	// EngineStats is the engine-activity ledger a Result carries.
 	EngineStats = cryptoengine.Stats
+	// TenancyScenario is a complete multi-tenant scenario: the tenants to
+	// interleave, the arrival process, the predictor retention policy and
+	// the SLO to judge against.
+	TenancyScenario = tenancy.Config
+	// TenancyTenant is one tenant of a scenario: a benchmark plus the
+	// machine configuration (and key domain, via its seed) it runs under.
+	TenancyTenant = tenancy.Tenant
+	// TenancySLO declares per-tenant service-level bounds (p99 fetch
+	// latency, architectural IPC degradation, end-to-end slowdown).
+	TenancySLO = tenancy.SLO
+	// TenancyReport is the outcome of one interleaved scenario, with
+	// per-tenant and aggregate SLO metrics.
+	TenancyReport = tenancy.Report
+	// TenantReport carries one tenant's SLO metrics from a scenario.
+	TenantReport = tenancy.TenantReport
+	// ArrivalKind selects the job-arrival process shaping each tenant's
+	// offered load.
+	ArrivalKind = tenancy.ArrivalKind
 )
 
 // Sentinel errors for errors.Is dispatch. Run and RunExperiment wrap
@@ -166,6 +185,15 @@ const (
 	// retry budget, heals it from the architectural image if retries are
 	// exhausted, counts the degradation and continues.
 	RecoveryQuarantine = secmem.RecoveryQuarantine
+)
+
+// Arrival processes for TenancyScenario.Kind.
+const (
+	// ArrivalPoisson draws independent exponential inter-arrival gaps.
+	ArrivalPoisson = tenancy.Poisson
+	// ArrivalBursty draws an on-off process: bursts of back-to-back jobs
+	// separated by long idle gaps, at the same mean load.
+	ArrivalBursty = tenancy.Bursty
 )
 
 // Attack classes for FaultAttack.Kind.
@@ -262,6 +290,19 @@ func ParseFaultPlan(s string) (FaultPlan, error) { return faults.ParsePlan(s) }
 
 // ParseRecovery parses a recovery policy name ("halt" or "quarantine").
 func ParseRecovery(s string) (RecoveryPolicy, error) { return secmem.ParseRecovery(s) }
+
+// ParseArrival parses an arrival-process name ("poisson" or "bursty";
+// the empty string is Poisson).
+func ParseArrival(s string) (ArrivalKind, error) { return tenancy.ParseArrival(s) }
+
+// RunTenancy executes a multi-tenant scenario: solo baselines first
+// (unless supplied via TenancyScenario.SoloIPC), then the interleaved
+// run over the seeded arrival schedule. Deterministic: a scenario is
+// byte-identical across runs. The report's Snapshot exports per-tenant
+// and aggregate SLO metrics as a metrics tree.
+func RunTenancy(ctx context.Context, cfg TenancyScenario) (TenancyReport, error) {
+	return tenancy.Run(ctx, cfg)
+}
 
 // NewMachine assembles a simulator without running it, for callers that
 // want to inspect or drive components directly.

@@ -68,7 +68,7 @@ func TestFacadeExperiment(t *testing.T) {
 	if _, err := RunExperiment("bogus", opt); err == nil {
 		t.Fatal("bogus experiment id accepted")
 	}
-	if len(ExperimentIDs()) != 20 {
+	if len(ExperimentIDs()) != 22 {
 		t.Fatalf("ExperimentIDs() = %d", len(ExperimentIDs()))
 	}
 }

@@ -67,6 +67,21 @@ func TestGoldenFig10Table(t *testing.T) {
 	checkGolden(t, "golden_fig10.txt", []byte(fmt.Sprintf("%s\n", res.Table)))
 }
 
+// TestGoldenTenantsTable pins the multi-tenant interference matrix on a
+// small grid (two benchmarks, 20k-instruction slices): the seeded
+// arrival schedules, global-virtual-time slowdowns and SLO percentiles
+// must reproduce byte-for-byte across machines and worker counts.
+func TestGoldenTenantsTable(t *testing.T) {
+	opt := goldenOptions()
+	opt.Benchmarks = []string{"gzip", "mcf"}
+	opt.Scale.Instructions = 20_000
+	res, err := RunExperiment("tenants", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_tenants.txt", []byte(fmt.Sprintf("%s\n", res.Table)))
+}
+
 // TestGoldenRunSnapshot pins the full metrics snapshot of a single run —
 // every counter in every component — so any behavioral drift in the
 // caches, DRAM, engine, predictor or controller is caught, not just the

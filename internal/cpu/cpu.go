@@ -329,6 +329,24 @@ func (c *Core) Run(maxInstructions uint64) Stats {
 	return c.Stats()
 }
 
+// RunSlice executes until halt or until the committed-instruction count
+// reaches target (an absolute count, like Run's maxInstructions), and
+// returns the statistics so far. Unlike Run it does NOT drain dirty
+// lines afterward: a slice is one timeslice of a longer residency, and
+// the still-dirty lines belong to the instructions that will follow —
+// either the next slice of this core or the final Run/DrainDirty that
+// closes the measured region. Interleaving schedulers (internal/tenancy)
+// alternate RunSlice calls across machines and drain once at the end.
+func (c *Core) RunSlice(target uint64) Stats {
+	for !c.halted && c.stats.Instructions < target {
+		c.step()
+		if c.checkpoint() {
+			break
+		}
+	}
+	return c.Stats()
+}
+
 // decode derives the static instruction properties consulted per step.
 func decode(in isa.Instr) decoded {
 	cl := in.Op.Class()

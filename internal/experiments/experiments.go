@@ -24,6 +24,7 @@ import (
 	"ctrpred/internal/runpool"
 	"ctrpred/internal/sim"
 	"ctrpred/internal/stats"
+	"ctrpred/internal/tenancy"
 	"ctrpred/internal/workload"
 )
 
@@ -56,6 +57,17 @@ type Options struct {
 	// the experiment runs under (zero value: the default pipelined AES).
 	// The "engines" experiment ignores it — sweeping engines is its job.
 	Engine cryptoengine.Spec
+	// Arrival selects the tenancy experiments' job-arrival process
+	// (zero value: Poisson).
+	Arrival tenancy.ArrivalKind
+	// MaxTenants bounds the capacity search (0 derives 8).
+	MaxTenants int
+	// SLOMaxSlowdown and SLOP99Fetch declare the capacity experiment's
+	// SLO: the largest tolerable end-to-end slowdown vs a solo run
+	// (0 derives 8) and an optional p99 fetch-latency bound in cycles
+	// (0 = unconstrained).
+	SLOMaxSlowdown float64
+	SLOP99Fetch    float64
 }
 
 // DefaultOptions runs every benchmark at a budget that completes each
@@ -85,8 +97,20 @@ func (o Options) normalized() Options {
 	if o.Seed == 0 {
 		o.Seed = def.Seed
 	}
+	if o.MaxTenants == 0 {
+		o.MaxTenants = 8
+	}
+	if o.SLOMaxSlowdown == 0 {
+		o.SLOMaxSlowdown = 8
+	}
 	return o
 }
+
+// Normalized returns the options with every zero-valued field resolved
+// to its default — the same resolution every experiment applies on
+// entry. Cache keys hash this form, so a request that spells a default
+// explicitly and one that omits it share one entry.
+func (o Options) Normalized() Options { return o.normalized() }
 
 // Result is one regenerated figure or table.
 type Result struct {
@@ -537,8 +561,12 @@ func ByID(ctx context.Context, id string, opt Options) (Result, error) {
 		return AttackCampaign(ctx, opt)
 	case "engines":
 		return Engines(ctx, opt)
+	case "tenants":
+		return Tenants(ctx, opt)
+	case "capacity":
+		return Capacity(ctx, opt)
 	}
-	return Result{}, fmt.Errorf("experiments: %w %q (want table1, fig4, fig7..fig16, ablation, ctxswitch, integrity, hybrid, seqsweep, valuepred, attack, engines)", ErrUnknownExperiment, id)
+	return Result{}, fmt.Errorf("experiments: %w %q (want table1, fig4, fig7..fig16, ablation, ctxswitch, integrity, hybrid, seqsweep, valuepred, attack, engines, tenants, capacity)", ErrUnknownExperiment, id)
 }
 
 // IDs lists every experiment identifier in paper order.
@@ -546,5 +574,5 @@ func IDs() []string {
 	return []string{"table1", "fig4", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "ablation",
 		"ctxswitch", "integrity", "hybrid", "seqsweep", "valuepred", "attack",
-		"engines"}
+		"engines", "tenants", "capacity"}
 }

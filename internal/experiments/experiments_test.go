@@ -29,7 +29,7 @@ func TestIDsRoundTrip(t *testing.T) {
 	if _, err := ByID(context.Background(), "bogus", quickOpts()); !errors.Is(err, ErrUnknownExperiment) {
 		t.Fatalf("ByID(bogus) = %v, want errors.Is(err, ErrUnknownExperiment)", err)
 	}
-	if len(IDs()) != 20 {
+	if len(IDs()) != 22 {
 		t.Fatalf("IDs() has %d entries", len(IDs()))
 	}
 }

@@ -40,6 +40,9 @@ var partitionColumns = map[string][]string{
 	"fig14": {"256KB_L2", "1MB_L2"},
 	"fig15": {"Regular", "Two-level", "Context"},
 	"fig16": {"Regular", "Two-level", "Context"},
+	"tenants": {"Solo_IPC", "Mix_IPC", "Mix_Slowdown", "Mix_p99_Fetch",
+		"Retain_Slowdown", "Adv_Slowdown", "Adv_p99_Fetch"},
+	"capacity": {"Seq_Cache_32K", "Pred", "Combined_32K"},
 }
 
 // Partitionable reports whether the experiment's grid decomposes into

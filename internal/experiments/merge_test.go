@@ -53,7 +53,7 @@ func TestMergePartsByteIdentical(t *testing.T) {
 		t.Skip("multi-experiment sweep in -short mode")
 	}
 	opt := mergeOpts()
-	for _, id := range []string{"fig7", "fig9", "fig14", "engines"} {
+	for _, id := range []string{"fig7", "fig9", "fig14", "engines", "tenants", "capacity"} {
 		t.Run(id, func(t *testing.T) {
 			full, err := ByID(context.Background(), id, opt)
 			if err != nil {
@@ -87,7 +87,8 @@ func TestMergePartsByteIdentical(t *testing.T) {
 // partition, everything whose rows are not benchmarks does not.
 func TestPartitionable(t *testing.T) {
 	for _, id := range []string{"fig7", "fig8", "fig9", "fig10", "fig11",
-		"fig12", "fig13", "fig14", "fig15", "fig16", "engines"} {
+		"fig12", "fig13", "fig14", "fig15", "fig16", "engines", "tenants",
+		"capacity"} {
 		if !Partitionable(id) {
 			t.Errorf("Partitionable(%q) = false, want true", id)
 		}

@@ -271,6 +271,17 @@ func (s *System) maybeContextSwitch(now uint64) {
 		return
 	}
 	s.lastSwitch = now
+	s.ContextSwitch(now)
+}
+
+// ContextSwitch applies the timeslice-boundary disturbance immediately:
+// dirty data is written back (advancing counters), and caches, TLBs and
+// the sequence-number cache are invalidated — the state this process
+// finds when it is switched back in after another process used the
+// machine. maybeContextSwitch calls it on the periodic interval;
+// interleaving schedulers (internal/tenancy) call it directly at their
+// own slice boundaries.
+func (s *System) ContextSwitch(now uint64) {
 	s.stats.ContextSwitches++
 	s.l2.FlushDirty(func(lineAddr uint64) {
 		s.ctrl.EvictLine(now, lineAddr)

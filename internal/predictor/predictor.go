@@ -229,6 +229,31 @@ func New(cfg Config) *Predictor {
 // Config returns the predictor's configuration.
 func (p *Predictor) Config() Config { return p.cfg }
 
+// FlushTransient clears the prediction state that does not survive a
+// context switch: the latest-offset register the context scheme keys on,
+// the per-page prediction-history vectors (confidence restarts cold),
+// and the on-chip range table's residency (the backing per-page range
+// indices live with the page table and survive). Per-page roots and root
+// history are retained — they are part of the process's security context
+// and travel with it across switches (Section 7.2's OS support), and
+// they determine the counters, so discarding them would change what the
+// memory decrypts to, not just how well it is predicted. This is the
+// "flush" half of the flush-vs-retain switch policy; retain is a no-op.
+func (p *Predictor) FlushTransient() {
+	p.lor, p.lorValid = 0, false
+	for _, m := range p.pageDense {
+		if m != nil {
+			m.phv, m.phvFill = 0, 0
+		}
+	}
+	for _, m := range p.pageSparse {
+		m.phv, m.phvFill = 0, 0
+	}
+	for i := range p.rangeTable {
+		p.rangeTable[i] = rangeEntry{}
+	}
+}
+
 // Stats returns a copy of the accumulated statistics.
 func (p *Predictor) Stats() Stats { return p.stats }
 

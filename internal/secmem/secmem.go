@@ -175,6 +175,12 @@ type Controller struct {
 	secErr  *SecurityError   // first recorded security violation
 	faults  *faults.Injector // armed adversary, or nil
 
+	// fetchObs, when set, receives every fetch's exact end-to-end
+	// latency in cycles, alongside the bucketed FetchLatency histogram.
+	// SLO reporting (internal/tenancy) needs true percentiles, which
+	// buckets cannot provide; nil costs one branch per fetch.
+	fetchObs func(latency uint64)
+
 	// seqBuf is the counter-line fetch buffer: counters are fetched at
 	// DRAM burst granularity (a 32-byte counter line covers four memory
 	// blocks), and the last few counter lines remain in the controller.
@@ -278,6 +284,23 @@ func New(cfg Config, d *dram.DRAM, e cryptoengine.EngineModel, pred *predictor.P
 
 // Stats returns the accumulated statistics (the histogram is shared).
 func (c *Controller) Stats() Stats { return c.stats }
+
+// SetFetchObserver registers fn to receive the exact latency of every
+// line fetch the controller services, in cycles, as each completes. The
+// bucketed FetchLatency histogram cannot answer percentile questions
+// tighter than its bounds; SLO reporting samples through this hook
+// instead. Pass nil to unregister. The observer must not re-enter the
+// controller.
+func (c *Controller) SetFetchObserver(fn func(latency uint64)) { c.fetchObs = fn }
+
+// observeFetch books one serviced fetch's end-to-end latency into the
+// histogram and, when registered, the exact-sample observer.
+func (c *Controller) observeFetch(lat uint64) {
+	c.stats.FetchLatency.Observe(lat)
+	if c.fetchObs != nil {
+		c.fetchObs(lat)
+	}
+}
 
 // Predictor returns the counter predictor in use.
 func (c *Controller) Predictor() *predictor.Predictor { return c.pred }
@@ -819,7 +842,7 @@ func (c *Controller) FetchLine(now uint64, vaddr uint64) FetchResult {
 		}
 	}
 
-	c.stats.FetchLatency.Observe(res.Done - now)
+	c.observeFetch(res.Done - now)
 	if res.Done > res.LineDone {
 		c.stats.DecryptExposed += res.Done - res.LineDone
 	}
@@ -889,7 +912,7 @@ func (c *Controller) fetchCountersOnly(now, la uint64) FetchResult {
 	}
 	res.Done = maxU64(res.LineDone, padReady) + 1
 
-	c.stats.FetchLatency.Observe(res.Done - now)
+	c.observeFetch(res.Done - now)
 	if res.Done > res.LineDone {
 		c.stats.DecryptExposed += res.Done - res.LineDone
 	}
@@ -922,7 +945,7 @@ func (c *Controller) fetchDirect(now uint64, la uint64, cs *ctrState, ps *padSta
 			c.recordSecurityError(KindSelfCheck, la, 0, now)
 		}
 	}
-	c.stats.FetchLatency.Observe(res.Done - now)
+	c.observeFetch(res.Done - now)
 	if res.Done > res.LineDone {
 		c.stats.DecryptExposed += res.Done - res.LineDone
 	}

@@ -11,6 +11,7 @@ import (
 	"ctrpred/internal/secmem"
 	"ctrpred/internal/sha256"
 	"ctrpred/internal/sim"
+	"ctrpred/internal/tenancy"
 	"ctrpred/internal/workload"
 )
 
@@ -162,6 +163,15 @@ type ExperimentRequest struct {
 	Timeout string `json:"timeout,omitempty"`
 	// NoCache skips the result cache on both read and write.
 	NoCache bool `json:"no_cache,omitempty"`
+	// Arrival selects the tenancy experiments' job-arrival process
+	// ("poisson" or "bursty"; empty = poisson). Ignored by the others.
+	Arrival string `json:"arrival,omitempty"`
+	// MaxTenants bounds the capacity experiment's search (0 = default 8).
+	MaxTenants int `json:"max_tenants,omitempty"`
+	// SLOMaxSlowdown and SLOP99Fetch declare the capacity experiment's
+	// SLO (0 = defaults: slowdown 8, p99 unconstrained).
+	SLOMaxSlowdown float64 `json:"slo_max_slowdown,omitempty"`
+	SLOP99Fetch    float64 `json:"slo_p99_fetch,omitempty"`
 }
 
 // buildExperiment validates the request and assembles the sweep options.
@@ -226,6 +236,17 @@ func (r ExperimentRequest) buildExperiment(maxWorkers int) (experiments.Options,
 		}
 		opt.SimTimeout = d
 	}
+	kind, err := tenancy.ParseArrival(r.Arrival)
+	if err != nil {
+		return zero, err
+	}
+	opt.Arrival = kind
+	if r.MaxTenants < 0 {
+		return zero, fmt.Errorf("max_tenants: negative count %d", r.MaxTenants)
+	}
+	opt.MaxTenants = r.MaxTenants
+	opt.SLOMaxSlowdown = r.SLOMaxSlowdown
+	opt.SLOP99Fetch = r.SLOP99Fetch
 	return opt, nil
 }
 
@@ -283,7 +304,28 @@ func (r ExperimentRequest) key(maxWorkers int) (string, error) {
 		Footprint    int
 		Seed         uint64
 		Engine       string `json:",omitempty"`
-	}{"experiment", r.ID, opt.Benchmarks, opt.Scale.Instructions, opt.Scale.Footprint, opt.Seed, engineKey(opt.Engine)}
+		// Tenancy knobs are folded in only for the experiments they
+		// steer, in normalized form — so requests for other experiments
+		// keep their addresses no matter how these fields are spelled,
+		// and implicit and explicit tenancy defaults collide.
+		Arrival        string  `json:",omitempty"`
+		MaxTenants     int     `json:",omitempty"`
+		SLOMaxSlowdown float64 `json:",omitempty"`
+		SLOP99Fetch    float64 `json:",omitempty"`
+	}{
+		Kind: "experiment", ID: r.ID, Benchmarks: opt.Benchmarks,
+		Instructions: opt.Scale.Instructions, Footprint: opt.Scale.Footprint,
+		Seed: opt.Seed, Engine: engineKey(opt.Engine),
+	}
+	if r.ID == "tenants" || r.ID == "capacity" {
+		n := opt.Normalized()
+		payload.Arrival = n.Arrival.String()
+		if r.ID == "capacity" {
+			payload.MaxTenants = n.MaxTenants
+			payload.SLOMaxSlowdown = n.SLOMaxSlowdown
+			payload.SLOP99Fetch = n.SLOP99Fetch
+		}
+	}
 	b, err := json.Marshal(payload)
 	if err != nil {
 		return "", err

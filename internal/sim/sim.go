@@ -431,6 +431,21 @@ func (m *Machine) RunContext(ctx context.Context) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	m.armCheckpoint(ctx)
+	defer m.Core.SetCheckpoint(0, nil)
+	var cs cpu.Stats
+	if m.Config.Mode == HitRate {
+		cs = m.Core.RunFunctional(m.Config.Scale.Instructions)
+	} else {
+		cs = m.Core.Run(m.Config.Scale.Instructions)
+	}
+	return m.collect(cs), m.runErr()
+}
+
+// armCheckpoint installs the per-interval poll RunContext and
+// RunSliceContext share: progress streaming, security-halt propagation,
+// and context cancellation.
+func (m *Machine) armCheckpoint(ctx context.Context) {
 	interval := m.Config.CheckInterval
 	if interval == 0 {
 		interval = DefaultCheckInterval
@@ -448,13 +463,21 @@ func (m *Machine) RunContext(ctx context.Context) (Result, error) {
 		}
 		return ctxErr()
 	})
-	defer m.Core.SetCheckpoint(0, nil)
-	var cs cpu.Stats
-	if m.Config.Mode == HitRate {
-		cs = m.Core.RunFunctional(m.Config.Scale.Instructions)
-	} else {
-		cs = m.Core.Run(m.Config.Scale.Instructions)
+}
+
+// runErr resolves what interrupted the core, if anything.
+func (m *Machine) runErr() error {
+	err := m.Core.StopCause()
+	if err == nil {
+		// A violation inside the final checkpoint interval still halts
+		// the result, even though no checkpoint fired after it.
+		err = m.Ctrl.SecurityErr()
 	}
+	return err
+}
+
+// collect assembles the Result from the machine's current statistics.
+func (m *Machine) collect(cs cpu.Stats) Result {
 	_, l1d, l2 := m.Sys.Caches()
 	res := Result{
 		Benchmark:     m.Benchmark,
@@ -485,13 +508,49 @@ func (m *Machine) RunContext(ctx context.Context) (Result, error) {
 	if ss := m.Ctrl.SecurityStats(); m.Faults != nil || ss != (secmem.SecurityStats{}) {
 		res.Security = &ss
 	}
-	err := m.Core.StopCause()
-	if err == nil {
-		// A violation inside the final checkpoint interval still halts
-		// the result, even though no checkpoint fired after it.
-		err = m.Ctrl.SecurityErr()
+	return res
+}
+
+// RunSliceContext runs the machine's timing core until its
+// committed-instruction count reaches target (an absolute count), one
+// timeslice of a longer residency: dirty lines are left in place so the
+// next slice — or Finish, which drains them — continues where this one
+// stopped. Checkpoints poll exactly as in RunContext. It reports whether
+// the core can continue (false once the program halts or the budget
+// passes target) alongside any interrupting error. Slicing is a
+// performance-mode facility; HitRate machines run whole via RunContext.
+func (m *Machine) RunSliceContext(ctx context.Context, target uint64) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
 	}
-	return res, err
+	m.armCheckpoint(ctx)
+	defer m.Core.SetCheckpoint(0, nil)
+	m.Core.RunSlice(target)
+	if err := m.runErr(); err != nil {
+		return false, err
+	}
+	return !m.Core.Halted(), nil
+}
+
+// SwitchIn applies the context-switch disturbance another process left
+// behind before this machine's next slice runs: dirty data written back
+// (advancing counters), caches/TLBs/sequence-number cache invalidated,
+// and — unless retainPredictor — the predictor's transient state
+// flushed. Per-page roots always survive; they are part of the saved
+// process context (see predictor.FlushTransient).
+func (m *Machine) SwitchIn(retainPredictor bool) {
+	m.Sys.ContextSwitch(m.Core.Stats().Cycles)
+	if !retainPredictor {
+		m.Pred.FlushTransient()
+	}
+}
+
+// Finish closes a sliced run: still-dirty lines are written back into
+// the measured region, as Run's epilogue does, and the Result is
+// assembled from everything the slices accumulated.
+func (m *Machine) Finish() Result {
+	m.Sys.DrainDirty(m.Core.Stats().Cycles)
+	return m.collect(m.Core.Stats())
 }
 
 // Run builds and runs the named benchmark under cfg.

@@ -62,6 +62,48 @@ func TestHistogramMeanQuantile(t *testing.T) {
 	}
 }
 
+// TestQuantileNearestRankBoundary is the regression for the floored
+// rank: one sample past a quarter of the population, ⌈q·n⌉ names the
+// second sample where ⌊q·n⌋ named the first.
+func TestQuantileNearestRankBoundary(t *testing.T) {
+	h := NewHistogram(1, 2, 3, 4)
+	for _, v := range []uint64{1, 2, 3, 4} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		q    float64
+		want uint64
+	}{
+		{0, 1}, {0.25, 1}, {0.26, 2}, {0.5, 2}, {0.75, 3}, {0.76, 4}, {1, 4},
+	}
+	for _, tc := range cases {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%g) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestQuantilePercentileAgree pins the shared percentile definition:
+// when every observation sits exactly on a bucket bound, the histogram
+// quantile and the exact nearest-rank Percentile over the same raw
+// samples (duplicated, unsorted) name the same value at every q —
+// including the q=0 and q=1 extremes.
+func TestQuantilePercentileAgree(t *testing.T) {
+	h := NewHistogram(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	obs := []uint64{7, 1, 9, 3, 3, 5, 10, 2, 8, 6, 4, 7} // unsorted, with duplicates
+	var raw []float64
+	for _, v := range obs {
+		h.Observe(v)
+		raw = append(raw, float64(v))
+	}
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		want := uint64(Percentile(raw, q))
+		if got := h.Quantile(q); got != want {
+			t.Errorf("q=%g: Quantile = %d, Percentile = %d — definitions diverge", q, got, want)
+		}
+	}
+}
+
 func TestHistogramEmpty(t *testing.T) {
 	h := NewHistogram(1)
 	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
@@ -193,5 +235,14 @@ func TestPercentileEdgeCases(t *testing.T) {
 	}
 	if got := Percentile(two, 0.51); got != 7 {
 		t.Errorf("Percentile(%v, 0.51) = %g, want 7", two, got)
+	}
+	// Duplicates count as distinct samples in the rank: two of five
+	// samples are 1, so q=0.4 still names a 1 and anything past it a 2.
+	dup := []float64{2, 1, 2, 1, 2}
+	if got := Percentile(dup, 0.4); got != 1 {
+		t.Errorf("Percentile(%v, 0.4) = %g, want 1", dup, got)
+	}
+	if got := Percentile(dup, 0.41); got != 2 {
+		t.Errorf("Percentile(%v, 0.41) = %g, want 2", dup, got)
 	}
 }

@@ -1,0 +1,110 @@
+package tenancy
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ctrpred/internal/rng"
+)
+
+// TestNegLn pins the hand-rolled logarithm against the library one: the
+// sampler only needs determinism, but it should also be *right*.
+func TestNegLn(t *testing.T) {
+	for _, u := range []float64{1, 0.999, 0.75, 0.5, 0.25, 0.1, 1e-3, 1e-9, 1.0 / (1 << 53)} {
+		got := negLn(u)
+		want := -math.Log(u)
+		if diff := math.Abs(got - want); diff > 1e-9*(1+want) {
+			t.Errorf("negLn(%g) = %g, want %g", u, got, want)
+		}
+	}
+}
+
+// TestExpDrawMean checks the exponential sampler's mean lands near the
+// requested one.
+func TestExpDrawMean(t *testing.T) {
+	r := rng.New(7)
+	const mean, n = 5000.0, 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(expDraw(r, mean))
+	}
+	got := sum / n
+	if got < 0.9*mean || got > 1.1*mean {
+		t.Errorf("expDraw mean = %.1f, want ≈ %.1f", got, mean)
+	}
+}
+
+func scheduleConfig(kind ArrivalKind, seed uint64) ScheduleConfig {
+	return ScheduleConfig{
+		Budgets: []uint64{50_000, 50_000, 30_000},
+		Kind:    kind,
+		Seed:    seed,
+	}
+}
+
+// TestScheduleDeterministic: identical configs produce identical
+// schedules — the property that makes tenancy scenarios byte-identical
+// across runs and across experiment worker counts.
+func TestScheduleDeterministic(t *testing.T) {
+	for _, kind := range []ArrivalKind{Poisson, Bursty} {
+		a := BuildSchedule(scheduleConfig(kind, 42))
+		b := BuildSchedule(scheduleConfig(kind, 42))
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%v: schedules differ across identical builds", kind)
+		}
+		c := BuildSchedule(scheduleConfig(kind, 43))
+		if reflect.DeepEqual(a, c) {
+			t.Errorf("%v: different seeds produced identical schedules", kind)
+		}
+	}
+	if reflect.DeepEqual(BuildSchedule(scheduleConfig(Poisson, 42)), BuildSchedule(scheduleConfig(Bursty, 42))) {
+		t.Error("poisson and bursty produced identical schedules")
+	}
+}
+
+// TestScheduleInvariants: every tenant receives exactly its budget, no
+// slice exceeds the quantum, and adjacent slices always change tenant
+// (real context switches only).
+func TestScheduleInvariants(t *testing.T) {
+	for _, kind := range []ArrivalKind{Poisson, Bursty} {
+		cfg := scheduleConfig(kind, 42)
+		cfg.Quantum = 4000
+		sched := BuildSchedule(cfg)
+		got := make([]uint64, len(cfg.Budgets))
+		for i, sl := range sched {
+			if sl.Tenant < 0 || sl.Tenant >= len(cfg.Budgets) {
+				t.Fatalf("%v: slice %d names tenant %d", kind, i, sl.Tenant)
+			}
+			if sl.Length == 0 {
+				t.Fatalf("%v: slice %d has zero length", kind, i)
+			}
+			got[sl.Tenant] += sl.Length
+			if i > 0 && sched[i-1].Tenant == sl.Tenant {
+				t.Fatalf("%v: slices %d and %d share tenant %d (unmerged)", kind, i-1, i, sl.Tenant)
+			}
+		}
+		for tn, b := range cfg.Budgets {
+			if got[tn] != b {
+				t.Errorf("%v: tenant %d scheduled %d instructions, budget %d", kind, tn, got[tn], b)
+			}
+		}
+		// Interleaving must actually happen: more slices than tenants.
+		if len(sched) <= len(cfg.Budgets) {
+			t.Errorf("%v: only %d slices for %d tenants — no interleaving", kind, len(sched), len(cfg.Budgets))
+		}
+	}
+}
+
+// TestParseArrival covers the flag syntax.
+func TestParseArrival(t *testing.T) {
+	for s, want := range map[string]ArrivalKind{"": Poisson, "poisson": Poisson, "bursty": Bursty} {
+		got, err := ParseArrival(s)
+		if err != nil || got != want {
+			t.Errorf("ParseArrival(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseArrival("uniform"); err == nil {
+		t.Error("ParseArrival accepted unknown process")
+	}
+}
